@@ -1,0 +1,68 @@
+"""Raw encoder throughput per scheme (simulator performance, not a
+paper figure).
+
+These are classic pytest-benchmark timings: how fast this Python
+implementation encodes QCIF frames under each resilience scheme.  They
+guard against performance regressions in the vectorized codec paths and
+document the relative wall-clock cost of each scheme's machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.encoder import Encoder
+from repro.codec.types import CodecConfig
+from repro.resilience.registry import build_strategy
+from repro.video.synthetic import foreman_like
+
+N_FRAMES = 12
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return foreman_like(n_frames=N_FRAMES)
+
+
+@pytest.mark.parametrize(
+    "spec,kwargs",
+    [
+        ("NO", {}),
+        ("GOP-3", {}),
+        ("AIR-24", {}),
+        ("PGOP-3", {}),
+        ("PBPAIR", dict(intra_th=0.92, plr=0.1)),
+    ],
+    ids=["NO", "GOP-3", "AIR-24", "PGOP-3", "PBPAIR"],
+)
+def test_encode_throughput(benchmark, clip, spec, kwargs):
+    def encode_clip():
+        encoder = Encoder(CodecConfig(), build_strategy(spec, **kwargs))
+        return sum(ef.size_bytes for ef in encoder.encode_sequence(clip))
+
+    total_bytes = benchmark(encode_clip)
+    assert total_bytes > 0
+
+
+def test_decode_throughput(benchmark, clip):
+    from repro.codec.decoder import Decoder
+    from repro.network.packet import Packetizer
+
+    config = CodecConfig()
+    encoder = Encoder(config, build_strategy("NO"))
+    encoded = encoder.encode_sequence(clip)
+    packetizer = Packetizer(config)
+    frames_packets = [
+        [p.payload for p in packetizer.packetize(ef)] for ef in encoded
+    ]
+
+    def decode_clip():
+        decoder = Decoder(config)
+        reference = None
+        for index, fragments in enumerate(frames_packets):
+            result = decoder.decode_frame(fragments, reference, index)
+            reference = result.frame
+        return reference
+
+    final = benchmark(decode_clip)
+    assert final is not None

@@ -1,0 +1,121 @@
+"""Figure 5: PBPAIR vs NO/PGOP-3/GOP-3/AIR-24 at PLR = 10%.
+
+Regenerates all four panels — (a) average PSNR, (b) bad pixels,
+(c) encoded file size, (d) encoding energy on the iPAQ — as tables with
+one row per scheme and one column per sequence, matching the paper's
+bar groups.  PBPAIR runs at the Intra_Th calibrated to PGOP-3's file
+size, exactly as the paper configures it.
+
+The expensive simulations live in session fixtures; each test's
+``benchmark`` call times the per-figure aggregation and prints the
+paper-shaped table.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FIG5_SCHEMES
+from repro.sim.report import format_table
+
+SEQUENCES = ("foreman", "akiyo", "garden")
+
+
+def _table(fig5_results, cell, title, fmt="{:.2f}"):
+    rows = []
+    for scheme in FIG5_SCHEMES:
+        row = [scheme]
+        for seq in SEQUENCES:
+            row.append(fmt.format(cell(fig5_results[(seq, scheme)])))
+        rows.append(row)
+    return format_table(["scheme", *SEQUENCES], rows, title=title)
+
+
+def test_fig5a_average_psnr(benchmark, fig5_results):
+    table = benchmark(
+        _table,
+        fig5_results,
+        lambda run: run.result.average_psnr_decoder,
+        "Fig 5(a): average PSNR (dB), PLR=10%",
+    )
+    print("\n" + table)
+    # Shape check: every resilience scheme beats NO on every sequence.
+    for seq in SEQUENCES:
+        no_psnr = fig5_results[(seq, "NO")].result.average_psnr_decoder
+        for scheme in FIG5_SCHEMES[1:]:
+            assert (
+                fig5_results[(seq, scheme)].result.average_psnr_decoder
+                > no_psnr
+            ), f"{scheme} should beat NO on {seq}"
+
+
+def test_fig5b_bad_pixels(benchmark, fig5_results):
+    table = benchmark(
+        _table,
+        fig5_results,
+        lambda run: run.result.total_bad_pixels / 1e6,
+        "Fig 5(b): bad pixels (millions), PLR=10%",
+        "{:.3f}",
+    )
+    print("\n" + table)
+    for seq in SEQUENCES:
+        no_bad = fig5_results[(seq, "NO")].result.total_bad_pixels
+        pb_bad = fig5_results[(seq, "PBPAIR")].result.total_bad_pixels
+        assert pb_bad < no_bad, f"PBPAIR should have fewer bad pixels on {seq}"
+
+
+def test_fig5c_file_size(benchmark, fig5_results):
+    table = benchmark(
+        _table,
+        fig5_results,
+        lambda run: run.result.total_bytes / 1024,
+        "Fig 5(c): encoded file size (KB)",
+        "{:.0f}",
+    )
+    print("\n" + table)
+    # PBPAIR was calibrated to PGOP-3's size: within 15% on each clip.
+    for seq in SEQUENCES:
+        pb = fig5_results[(seq, "PBPAIR")].result.total_bytes
+        pgop = fig5_results[(seq, "PGOP-3")].result.total_bytes
+        assert abs(pb - pgop) / pgop < 0.15, f"size mismatch on {seq}"
+    # And NO is always the smallest stream.
+    for seq in SEQUENCES:
+        sizes = {
+            scheme: fig5_results[(seq, scheme)].result.total_bytes
+            for scheme in FIG5_SCHEMES
+        }
+        assert min(sizes, key=sizes.get) == "NO"
+
+
+def test_fig5d_energy_ipaq(benchmark, fig5_results):
+    table = benchmark(
+        _table,
+        fig5_results,
+        lambda run: run.energy_ipaq_j,
+        "Fig 5(d): encoding energy (J), iPAQ H5555",
+    )
+    print("\n" + table)
+    # The paper's energy ordering: PBPAIR < {PGOP, GOP} < AIR ~ NO.
+    # On near-static content (akiyo) motion estimation is almost free,
+    # so there is nothing for intra refresh to save and all resilience
+    # schemes converge; require only a near-tie there.
+    for seq in SEQUENCES:
+        e = {
+            scheme: fig5_results[(seq, scheme)].energy_ipaq_j
+            for scheme in FIG5_SCHEMES
+        }
+        if seq == "akiyo":
+            assert e["PBPAIR"] <= e["PGOP-3"] * 1.06
+            assert e["PBPAIR"] <= e["AIR-24"] * 1.06
+            continue
+        assert e["PBPAIR"] < e["PGOP-3"], f"PBPAIR !< PGOP-3 on {seq}"
+        assert e["PBPAIR"] < e["GOP-3"], f"PBPAIR !< GOP-3 on {seq}"
+        assert e["PBPAIR"] < e["AIR-24"], f"PBPAIR !< AIR-24 on {seq}"
+        assert e["PGOP-3"] < e["AIR-24"]
+        # AIR decides after ME: energy within a few percent of NO.
+        assert abs(e["AIR-24"] - e["NO"]) / e["NO"] < 0.08
+    total = {
+        scheme: sum(
+            fig5_results[(seq, scheme)].energy_ipaq_j for seq in SEQUENCES
+        )
+        for scheme in FIG5_SCHEMES
+    }
+    assert total["PBPAIR"] == min(total.values())

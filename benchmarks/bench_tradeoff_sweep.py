@@ -1,0 +1,118 @@
+"""Sections 4.3 and 4.4: the (Intra_Th x PLR) operating-point space.
+
+Section 4.3 (error resiliency vs energy): sweeping Intra_Th from 0 to 1
+moves PBPAIR from "maximum compression efficiency, no resilience" to
+"every macroblock intra, maximum robustness"; energy falls and bitstream
+size grows monotonically along the way.  Rising PLR at fixed Intra_Th
+also raises the intra rate (sigma decays faster).
+
+Section 4.4 (image quality vs error resiliency): under loss, higher
+Intra_Th yields higher PSNR and fewer bad pixels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.loss import UniformLoss
+from repro.resilience.registry import build_strategy
+from repro.sim.pipeline import simulate
+from repro.sim.report import format_table
+from repro.video.synthetic import foreman_like
+
+N_FRAMES = 60
+THRESHOLDS = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
+PLRS = (0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    sequence = foreman_like(n_frames=N_FRAMES)
+    grid = {}
+    for plr in PLRS:
+        for th in THRESHOLDS:
+            strategy = build_strategy("PBPAIR", intra_th=th, plr=plr)
+            grid[(plr, th)] = simulate(
+                sequence,
+                strategy,
+                loss_model=UniformLoss(plr=plr, seed=77),
+            )
+    return grid
+
+
+def test_sec43_energy_vs_resilience(benchmark, sweep_results):
+    rows = benchmark(
+        lambda: [
+            [
+                plr,
+                th,
+                sweep_results[(plr, th)].intra_fraction * 100,
+                sweep_results[(plr, th)].total_bytes / 1024,
+                sweep_results[(plr, th)].energy_joules,
+            ]
+            for plr in PLRS
+            for th in THRESHOLDS
+        ]
+    )
+    print(
+        "\n"
+        + format_table(
+            ["PLR", "Intra_Th", "intra MBs %", "size KB", "energy J"],
+            rows,
+            title="Section 4.3: error resiliency vs energy (foreman)",
+        )
+    )
+    for plr in PLRS:
+        runs = [sweep_results[(plr, th)] for th in THRESHOLDS]
+        intra = [r.intra_fraction for r in runs]
+        sizes = [r.total_bytes for r in runs]
+        energy = [r.energy_joules for r in runs]
+        # More threshold -> more intra MBs -> larger stream, less energy.
+        assert intra == sorted(intra)
+        assert sizes == sorted(sizes)
+        # Energy falls with the threshold except at the all-intra
+        # extreme, where the much larger bitstream's entropy-coding work
+        # can buy back a percent or two (the paper notes the tension:
+        # "a larger number of intra blocks will result in more
+        # transmission due to the larger encoded bitstream").
+        for earlier, later in zip(energy, energy[1:]):
+            assert later <= earlier * 1.04
+        assert energy[-1] < energy[0] * 0.75
+        # The two extremes the paper calls out.
+        assert runs[0].intra_fraction < 0.15  # Th=0: essentially NO
+        assert runs[-1].intra_fraction > 0.95  # Th=1: all intra
+
+    # Fixed Intra_Th, rising PLR -> more intra macroblocks (sigma
+    # decays faster), Section 3.2's Equation (3) argument.
+    for th in (0.5, 0.8, 0.9):
+        fractions = [sweep_results[(plr, th)].intra_fraction for plr in PLRS]
+        assert fractions == sorted(fractions)
+
+
+def test_sec44_quality_vs_resilience(benchmark, sweep_results):
+    rows = benchmark(
+        lambda: [
+            [
+                plr,
+                th,
+                sweep_results[(plr, th)].average_psnr_decoder,
+                sweep_results[(plr, th)].total_bad_pixels / 1e6,
+            ]
+            for plr in PLRS
+            for th in THRESHOLDS
+        ]
+    )
+    print(
+        "\n"
+        + format_table(
+            ["PLR", "Intra_Th", "PSNR dB", "bad pixels M"],
+            rows,
+            title="Section 4.4: image quality vs error resiliency (foreman)",
+        )
+    )
+    for plr in PLRS:
+        lowest = sweep_results[(plr, THRESHOLDS[0])]
+        highest = sweep_results[(plr, THRESHOLDS[-1])]
+        # Robust encodings end up with clearly better delivered quality.
+        assert highest.average_psnr_decoder > lowest.average_psnr_decoder + 1.0
+        assert highest.total_bad_pixels < lowest.total_bad_pixels / 2

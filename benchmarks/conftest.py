@@ -1,0 +1,104 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it in the paper's structure (see DESIGN.md's per-experiment
+index).  The heavy simulations are computed once per session and shared.
+
+Frame counts default to 150 per clip (the paper uses 300) to keep the
+suite's wall time reasonable; set ``REPRO_BENCH_FRAMES=300`` for the
+full-length reproduction.  Shapes are stable across clip length because
+all dynamics (refresh rates, loss rates) are per-frame stationary.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.energy.profiles import IPAQ_H5555, ZAURUS_SL5600
+from repro.network.loss import UniformLoss
+from repro.resilience.registry import build_strategy
+from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
+from repro.sim.pipeline import SimulationConfig, simulate
+from repro.video.synthetic import SEQUENCE_GENERATORS
+
+#: Frames per clip (paper: 300).
+N_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "150"))
+#: The paper's Figure 5 assumes PLR = 10%.
+PLR = 0.10
+#: Loss-pattern seed (deterministic benches).
+LOSS_SEED = 2005
+#: Figure 5's legend.
+FIG5_SCHEMES = ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24")
+#: Figure 5(c)'s size-matching target scheme.
+SIZE_MATCH_TARGET = "PGOP-3"
+
+
+@dataclass(frozen=True)
+class SchemeRun:
+    """One (sequence, scheme) cell of Figure 5, on both devices."""
+
+    sequence: str
+    scheme: str
+    result: object  # SimulationResult
+    energy_ipaq_j: float
+    energy_zaurus_j: float
+
+
+def _calibrate_intra_th(sequence) -> float:
+    """Find the Intra_Th matching SIZE_MATCH_TARGET's encoded size.
+
+    Mirrors the paper's setup: "We choose Intra_Th that gives similar
+    compression ratio with PGOP-3 ...".  Calibration runs on the full
+    clip: a prefix would miss FOREMAN's late camera pan and transfer a
+    threshold that overshoots once the pan starts.
+    """
+    target = total_encoded_bytes(sequence, build_strategy(SIZE_MATCH_TARGET))
+    return match_intra_th_to_size(
+        sequence, target, plr=PLR, max_iterations=9, tolerance=0.02
+    )
+
+
+@pytest.fixture(scope="session")
+def sequences():
+    return {
+        name: generator(N_FRAMES)
+        for name, generator in SEQUENCE_GENERATORS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def calibrated_intra_th(sequences):
+    return {name: _calibrate_intra_th(seq) for name, seq in sequences.items()}
+
+
+@pytest.fixture(scope="session")
+def fig5_results(sequences, calibrated_intra_th):
+    """All Figure-5 cells: 5 schemes x 3 sequences at PLR = 10%."""
+    zaurus = EnergyModel(ZAURUS_SL5600)
+    runs: dict[tuple[str, str], SchemeRun] = {}
+    for seq_name, sequence in sequences.items():
+        for scheme in FIG5_SCHEMES:
+            if scheme == "PBPAIR":
+                strategy = build_strategy(
+                    "PBPAIR", intra_th=calibrated_intra_th[seq_name], plr=PLR
+                )
+            else:
+                strategy = build_strategy(scheme)
+            result = simulate(
+                sequence,
+                strategy,
+                loss_model=UniformLoss(plr=PLR, seed=LOSS_SEED),
+                config=SimulationConfig(device=IPAQ_H5555),
+            )
+            runs[(seq_name, scheme)] = SchemeRun(
+                sequence=seq_name,
+                scheme=scheme,
+                result=result,
+                energy_ipaq_j=result.energy_joules,
+                energy_zaurus_j=zaurus.joules(result.counters),
+            )
+    return runs

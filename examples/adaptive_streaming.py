@@ -1,0 +1,133 @@
+"""Adaptive streaming: tracking a changing network (Section 3.2).
+
+A video call whose channel degrades mid-stream: the packet loss rate
+steps 5% -> 20% -> 10%.  The sender learns the new PLR from receiver
+feedback (RTCP-style) and adapts PBPAIR's operating point with
+:func:`repro.core.adaptation.intra_th_for_plr_change`, which shifts
+``Intra_Th`` so the refresh rate — and with it the bit rate and energy —
+stays roughly where the user set it (the paper: "adapting the Intra_Th
+by the amount of the PLR increase can generate similar number of intra
+macro blocks").
+
+For contrast, a second encoder keeps its Intra_Th fixed: its intra rate
+(and bitstream) balloons when the channel worsens.
+
+Usage::
+
+    python examples/adaptive_streaming.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CodecConfig,
+    Encoder,
+    PBPAIRConfig,
+    PBPAIRStrategy,
+    intra_th_for_plr_change,
+)
+from repro.video.synthetic import SyntheticConfig, generate_sequence
+
+#: (start_frame, true PLR) schedule of the degrading channel.
+PLR_SCHEDULE = ((0, 0.05), (60, 0.20), (120, 0.10))
+N_FRAMES = 180
+INITIAL_TH = 0.90
+
+
+def plr_at(frame_index: int) -> float:
+    current = PLR_SCHEDULE[0][1]
+    for start, plr in PLR_SCHEDULE:
+        if frame_index >= start:
+            current = plr
+    return current
+
+
+def _talking_head() -> "VideoSequence":
+    """A pan-free talking head: stationary statistics, so the intra
+    rate differences between phases come from the channel alone."""
+    return generate_sequence(
+        SyntheticConfig(
+            n_frames=N_FRAMES,
+            texture_scale=35.0,
+            texture_smoothness=3,
+            object_radius=30,
+            object_motion_amplitude=26.0,
+            object_motion_period=30,
+            sensor_noise=0.6,
+            texture_drift=3.0,
+            texture_drift_period=45,
+            camera_jitter=0.1,
+            seed=1,
+        ),
+        name="call",
+    )
+
+
+def run(adaptive: bool) -> list[tuple[int, float, float, int]]:
+    """Encode the clip; returns (frame, plr, intra_th, intra_mbs) rows."""
+    video = _talking_head()
+    strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=INITIAL_TH, plr=plr_at(0)))
+    encoder = Encoder(CodecConfig(), strategy)
+    rows = []
+    for frame in video:
+        true_plr = plr_at(frame.index)
+        controller = strategy.controller
+        if controller is not None and controller.plr != true_plr:
+            # Receiver feedback announced a new loss rate.
+            if adaptive:
+                controller.intra_th = intra_th_for_plr_change(
+                    controller.intra_th, controller.plr, true_plr
+                )
+            controller.plr = true_plr
+        encoded = encoder.encode_frame(frame)
+        current_th = (
+            strategy.controller.intra_th if strategy.controller else INITIAL_TH
+        )
+        rows.append((frame.index, true_plr, current_th, encoded.stats.intra_mbs))
+    return rows
+
+
+def summarize(label: str, rows) -> None:
+    print(f"\n{label}")
+    for start, plr in PLR_SCHEDULE:
+        stop = min(
+            (s for s, _ in PLR_SCHEDULE if s > start), default=N_FRAMES
+        )
+        window = [r for r in rows if start + 5 <= r[0] < stop]
+        intra = np.mean([r[3] for r in window])
+        th = window[-1][2]
+        print(
+            f"  frames {start:3d}-{stop - 1:3d}  PLR={plr:.0%}  "
+            f"Intra_Th={th:.3f}  mean intra MBs/frame={intra:5.1f}"
+        )
+
+
+def main() -> None:
+    print("Channel schedule:", " -> ".join(f"{p:.0%}" for _, p in PLR_SCHEDULE))
+    fixed = run(adaptive=False)
+    adaptive = run(adaptive=True)
+    summarize("Fixed Intra_Th (no adaptation):", fixed)
+    summarize("Adaptive Intra_Th (Section 3.2):", adaptive)
+
+    def spread(rows):
+        per_phase = []
+        for start, _ in PLR_SCHEDULE:
+            stop = min(
+                (s for s, _ in PLR_SCHEDULE if s > start), default=N_FRAMES
+            )
+            window = [r[3] for r in rows if start + 5 <= r[0] < stop]
+            per_phase.append(float(np.mean(window)))
+        return max(per_phase) - min(per_phase)
+
+    print(
+        f"\nIntra-rate swing across phases: fixed={spread(fixed):.1f} "
+        f"MBs/frame, adaptive={spread(adaptive):.1f} MBs/frame"
+    )
+    print("The adaptive encoder holds its operating point; the fixed one")
+    print("over-refreshes whenever the channel worsens.")
+
+
+if __name__ == "__main__":
+    main()

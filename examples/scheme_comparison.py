@@ -1,0 +1,68 @@
+"""Compare PBPAIR against the paper's baselines on one clip.
+
+A miniature of the paper's Figure 5: runs NO, PBPAIR, PGOP-3, GOP-3 and
+AIR-24 on the same sequence and lossy channel, with PBPAIR's Intra_Th
+calibrated so its encoded size matches PGOP-3 (the paper's experimental
+setup), then prints quality / size / energy side by side.
+
+Usage::
+
+    python examples/scheme_comparison.py [foreman|akiyo|garden] [n_frames]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SEQUENCE_GENERATORS, UniformLoss, build_strategy, simulate
+from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
+from repro.sim.report import format_table
+
+PLR = 0.10
+SCHEMES = ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24")
+
+
+def main(sequence_name: str = "foreman", n_frames: int = 90) -> None:
+    video = SEQUENCE_GENERATORS[sequence_name](n_frames)
+
+    print(f"Calibrating PBPAIR's Intra_Th to PGOP-3's size on {video.name} ...")
+    target = total_encoded_bytes(video, build_strategy("PGOP-3"))
+    intra_th = match_intra_th_to_size(
+        video, target, plr=PLR, max_iterations=8
+    )
+    print(f"  -> Intra_Th = {intra_th:.3f}")
+
+    rows = []
+    for spec in SCHEMES:
+        if spec == "PBPAIR":
+            strategy = build_strategy(spec, intra_th=intra_th, plr=PLR)
+        else:
+            strategy = build_strategy(spec)
+        result = simulate(
+            video, strategy, loss_model=UniformLoss(plr=PLR, seed=11)
+        )
+        rows.append(
+            [
+                spec,
+                result.average_psnr_decoder,
+                result.total_bad_pixels / 1e6,
+                result.total_bytes / 1024,
+                result.energy_joules,
+                100 * result.intra_fraction,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["scheme", "PSNR dB", "bad px M", "size KB", "energy J", "intra %"],
+            rows,
+            title=f"{video.name}, {n_frames} frames, PLR = {PLR:.0%}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "foreman"
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 90
+    main(name, frames)

@@ -1,0 +1,89 @@
+"""Watch PBPAIR's correctness matrix evolve.
+
+Encodes a talking-head clip with an instrumented PBPAIR strategy and
+prints the probability-of-correctness matrix (the paper's ``C^k``) as
+ASCII heatmaps at a few checkpoints — dense glyphs are macroblocks the
+encoder believes the decoder has right, sparse glyphs are decayed ones,
+``R`` marks this frame's intra refreshes.  Watch the active region (the
+moving head) decay fast and get refreshed often while the static
+background barely moves.
+
+Usage::
+
+    python examples/sigma_dynamics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CodecConfig, Encoder, PBPAIRConfig
+from repro.core.instrumentation import InstrumentedPBPAIRStrategy, sigma_heatmap
+from repro.core.correctness import refresh_interval
+from repro.video.synthetic import SyntheticConfig, generate_sequence
+
+N_FRAMES = 36
+CHECKPOINTS = (4, 12, 24, 35)
+PLR = 0.15
+INTRA_TH = 0.88
+
+
+def main() -> None:
+    video = generate_sequence(
+        SyntheticConfig(
+            n_frames=N_FRAMES,
+            texture_scale=35.0,
+            object_radius=30,
+            object_motion_amplitude=26.0,
+            object_motion_period=24,
+            sensor_noise=0.6,
+            texture_drift=3.0,
+            seed=2,
+        ),
+        name="head",
+    )
+    strategy = InstrumentedPBPAIRStrategy(
+        PBPAIRConfig(intra_th=INTRA_TH, plr=PLR)
+    )
+    encoder = Encoder(CodecConfig(), strategy)
+    encoder.encode_sequence(video)
+    trace = strategy.trace
+
+    print(
+        f"PBPAIR, Intra_Th={INTRA_TH}, assumed PLR={PLR:.0%} "
+        f"({N_FRAMES} frames)"
+    )
+    print(f"heatmap: '@' = sigma 1.0 ... ' ' = sigma 0.0, 'R' = refreshed\n")
+    for checkpoint in CHECKPOINTS:
+        snapshot = trace.snapshots[checkpoint]
+        print(
+            f"frame {checkpoint:2d}  "
+            f"(mean sigma {snapshot.sigma_after.mean():.3f}, "
+            f"min {snapshot.sigma_after.min():.3f}, "
+            f"{int(snapshot.intra_mask.sum())} refreshes)"
+        )
+        print(sigma_heatmap(snapshot.sigma_after, mark=snapshot.intra_mask))
+        print()
+
+    intervals = trace.refresh_intervals()
+    refreshed = intervals[np.isfinite(intervals)]
+    print("Observed refresh behaviour vs the analytic approximation (3):")
+    print(
+        f"  analytic interval n(alpha, Th)      : "
+        f"{refresh_interval(PLR, INTRA_TH):.1f} frames (similarity ignored)"
+    )
+    if refreshed.size:
+        print(
+            f"  observed, macroblocks refreshed >1x: "
+            f"median {np.median(refreshed):.1f} frames "
+            f"(min {refreshed.min():.1f}, max {refreshed.max():.1f})"
+        )
+    never = int(np.sum(~np.isfinite(intervals)))
+    print(
+        f"  macroblocks refreshed <= once       : {never} of {intervals.size}"
+        " (static content the similarity factor protects from wasted refresh)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Shim for environments whose setuptools cannot build editable wheels.
+
+``pip install -e .`` needs the ``wheel`` package; fully offline boxes
+without it can still get an editable install via::
+
+    python setup.py develop
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run one scheme over one sequence and a lossy channel,
+  print the run summary.
+* ``compare`` — the paper's Figure-5 style comparison (all five
+  schemes, PBPAIR size-matched to PGOP-3).
+* ``sweep`` — the Section-4.3 (Intra_Th x PLR) operating-point table.
+* ``sigma`` — encode with PBPAIR and print the correctness matrix as
+  ASCII heatmaps (the paper's ``C^k``, live).
+* ``info`` — list available schemes, sequences and device profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.energy.profiles import DEVICE_PROFILES
+from repro.network.loss import UniformLoss
+from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
+from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
+from repro.sim.pipeline import SimulationConfig, simulate
+from repro.sim.report import format_table
+from repro.video.synthetic import SEQUENCE_GENERATORS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sequence",
+        choices=sorted(SEQUENCE_GENERATORS),
+        default="foreman",
+        help="synthetic test clip (default: foreman)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=90, help="clip length (default: 90)"
+    )
+    parser.add_argument(
+        "--plr", type=float, default=0.1, help="packet loss rate (default: 0.1)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="channel seed (default: 1)"
+    )
+    parser.add_argument(
+        "--device",
+        choices=sorted(DEVICE_PROFILES),
+        default="ipaq",
+        help="energy profile (default: ipaq)",
+    )
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(device=DEVICE_PROFILES[args.device])
+
+
+def _sequence(args: argparse.Namespace):
+    if args.frames < 1:
+        raise SystemExit("--frames must be >= 1")
+    return SEQUENCE_GENERATORS[args.sequence](args.frames)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    video = _sequence(args)
+    if args.scheme.upper().startswith("PBPAIR"):
+        strategy = build_strategy(
+            "PBPAIR", intra_th=args.intra_th, plr=args.plr
+        )
+    else:
+        strategy = build_strategy(args.scheme)
+    result = simulate(
+        video,
+        strategy,
+        loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+        config=_config(args),
+    )
+    print(f"sequence         : {video.name} ({result.n_frames} frames)")
+    print(f"scheme           : {result.strategy_name}")
+    print(f"delivered PSNR   : {result.average_psnr_decoder:.2f} dB")
+    print(f"bad pixels       : {result.total_bad_pixels:,}")
+    print(f"encoded size     : {result.total_bytes / 1024:.1f} KB")
+    print(f"intra macroblocks: {100 * result.intra_fraction:.1f}%")
+    print(f"encoding energy  : {result.energy_joules:.3f} J "
+          f"({result.energy.device})")
+    print(f"packets lost     : {len(result.channel_log.lost_packets)}"
+          f"/{result.channel_log.sent}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    video = _sequence(args)
+    config = _config(args)
+    print(f"Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
+          file=sys.stderr)
+    target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
+    intra_th = match_intra_th_to_size(
+        video, target, plr=args.plr, config=config, max_iterations=8
+    )
+    rows = []
+    for spec in ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24"):
+        if spec == "PBPAIR":
+            strategy = build_strategy(spec, intra_th=intra_th, plr=args.plr)
+        else:
+            strategy = build_strategy(spec)
+        result = simulate(
+            video,
+            strategy,
+            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+            config=config,
+        )
+        rows.append(
+            [
+                spec,
+                result.average_psnr_decoder,
+                result.total_bad_pixels / 1e6,
+                result.total_bytes / 1024,
+                result.energy_joules,
+                100 * result.intra_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "PSNR dB", "bad px M", "size KB", "energy J", "intra %"],
+            rows,
+            title=(
+                f"{video.name}, {args.frames} frames, PLR={args.plr:.0%}, "
+                f"PBPAIR Intra_Th={intra_th:.3f}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    video = _sequence(args)
+    config = _config(args)
+    rows = []
+    for th in (0.0, 0.5, 0.8, 0.9, 0.95, 1.0):
+        strategy = build_strategy("PBPAIR", intra_th=th, plr=args.plr)
+        result = simulate(
+            video,
+            strategy,
+            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+            config=config,
+        )
+        rows.append(
+            [
+                th,
+                100 * result.intra_fraction,
+                result.total_bytes / 1024,
+                result.energy_joules,
+                result.average_psnr_decoder,
+                result.total_bad_pixels / 1e6,
+            ]
+        )
+    print(
+        format_table(
+            ["Intra_Th", "intra %", "size KB", "energy J", "PSNR dB",
+             "bad px M"],
+            rows,
+            title=(
+                f"PBPAIR operating points: {video.name}, "
+                f"{args.frames} frames, PLR={args.plr:.0%}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sigma(args: argparse.Namespace) -> int:
+    from repro.codec.encoder import Encoder
+    from repro.codec.types import CodecConfig
+    from repro.core.instrumentation import (
+        InstrumentedPBPAIRStrategy,
+        sigma_heatmap,
+    )
+    from repro.core.pbpair import PBPAIRConfig
+
+    video = _sequence(args)
+    strategy = InstrumentedPBPAIRStrategy(
+        PBPAIRConfig(intra_th=args.intra_th, plr=args.plr)
+    )
+    Encoder(CodecConfig(), strategy).encode_sequence(video)
+    step = max(len(video) // 4, 1)
+    print(
+        f"PBPAIR sigma heatmaps, {video.name}, Intra_Th={args.intra_th}, "
+        f"PLR={args.plr:.0%} ('@'=1.0 ' '=0.0 'R'=refreshed)"
+    )
+    for snapshot in strategy.trace.snapshots[::step]:
+        print(
+            f"\nframe {snapshot.frame_index:3d}  "
+            f"mean={snapshot.sigma_after.mean():.3f} "
+            f"refreshes={int(snapshot.intra_mask.sum())}"
+        )
+        print(sigma_heatmap(snapshot.sigma_after, mark=snapshot.intra_mask))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("schemes   :", ", ".join(sorted(STRATEGY_BUILDERS)))
+    print("sequences :", ", ".join(sorted(SEQUENCE_GENERATORS)))
+    print(
+        "devices   :",
+        ", ".join(
+            f"{key} ({profile.name})"
+            for key, profile in sorted(DEVICE_PROFILES.items())
+        ),
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PBPAIR (ICDCS 2005) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sim = commands.add_parser("simulate", help="run one scheme end to end")
+    _add_common(sim)
+    sim.add_argument(
+        "--scheme",
+        default="PBPAIR",
+        help="NO, GOP-N, AIR-N, PGOP-N or PBPAIR (default: PBPAIR)",
+    )
+    sim.add_argument(
+        "--intra-th",
+        type=float,
+        default=0.92,
+        help="PBPAIR's Intra_Th (default: 0.92)",
+    )
+    sim.set_defaults(handler=_cmd_simulate)
+
+    compare = commands.add_parser(
+        "compare", help="Figure-5 style scheme comparison"
+    )
+    _add_common(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    sweep = commands.add_parser(
+        "sweep", help="Section-4.3 operating-point sweep"
+    )
+    _add_common(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    sigma = commands.add_parser(
+        "sigma", help="print PBPAIR's correctness-matrix heatmaps"
+    )
+    _add_common(sigma)
+    sigma.add_argument(
+        "--intra-th",
+        type=float,
+        default=0.9,
+        help="PBPAIR's Intra_Th (default: 0.9)",
+    )
+    sigma.set_defaults(handler=_cmd_sigma)
+
+    info = commands.add_parser("info", help="list schemes/sequences/devices")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        parser.error(str(error))
+        return 2  # unreachable; parser.error raises SystemExit

@@ -1,0 +1,159 @@
+"""Bit-level bitstream writer and reader.
+
+The VLC layer of the codec needs true bit-granular I/O: the paper's error
+model operates on the resulting byte stream, and the decoder must detect
+truncated or corrupt streams gracefully (a single bit error in VLC data
+desynchronizes everything after it — the motivation for intra refresh).
+
+``BitWriter`` accumulates bits MSB-first; ``BitReader`` consumes them and
+raises :class:`BitstreamError` instead of returning garbage when the
+stream ends early, so the decoder can fall back to concealment.
+"""
+
+from __future__ import annotations
+
+
+class BitstreamError(Exception):
+    """Raised when a bitstream is exhausted or structurally invalid."""
+
+
+class BitWriter:
+    """Accumulates bits most-significant-bit first."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+        self._total_bits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (before padding)."""
+        return self._total_bits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._accumulator = (self._accumulator << 1) | bit
+        self._bit_count += 1
+        self._total_bits += 1
+        if self._bit_count == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._bit_count = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of the unsigned integer ``value``."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` zero bits followed by a one bit."""
+        if value < 0:
+            raise ValueError("unary value must be >= 0")
+        for _ in range(value):
+            self.write_bit(0)
+        self.write_bit(1)
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        out = bytearray(self._buffer)
+        if self._bit_count:
+            out.append(self._accumulator << (8 - self._bit_count))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._byte_pos = 0
+        self._bit_pos = 0  # bits consumed from the current byte
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._byte_pos * 8 + self._bit_pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self.bits_consumed
+
+    def read_bit(self) -> int:
+        if self._byte_pos >= len(self._data):
+            raise BitstreamError("bitstream exhausted")
+        byte = self._data[self._byte_pos]
+        bit = (byte >> (7 - self._bit_pos)) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if width > self.bits_remaining:
+            raise BitstreamError(
+                f"requested {width} bits, only {self.bits_remaining} remain"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def skip_bits(self, width: int) -> None:
+        """Advance past ``width`` bits without interpreting them."""
+        if width > self.bits_remaining:
+            raise BitstreamError(
+                f"cannot skip {width} bits, only {self.bits_remaining} remain"
+            )
+        consumed = self.bits_consumed + width
+        self._byte_pos, self._bit_pos = divmod(consumed, 8)
+
+    def read_unary(self, max_zeros: int = 64) -> int:
+        """Read a unary codeword; guards against runaway zero runs.
+
+        A corrupt stream can contain an implausibly long zero run; the
+        guard turns that into a :class:`BitstreamError` rather than an
+        unbounded scan.
+        """
+        zeros = 0
+        while True:
+            if self.read_bit():
+                return zeros
+            zeros += 1
+            if zeros > max_zeros:
+                raise BitstreamError(f"unary run exceeded {max_zeros} zeros")
+
+
+def append_bit_slice(
+    writer: BitWriter, data: bytes, start_bit: int, n_bits: int
+) -> None:
+    """Append bits ``[start_bit, start_bit + n_bits)`` of ``data`` to a writer.
+
+    Used by the packetizer to split a frame's macroblock layer at
+    (bit-granular) macroblock boundaries without re-encoding.
+    """
+    if start_bit < 0 or n_bits < 0:
+        raise ValueError("start_bit and n_bits must be non-negative")
+    if start_bit + n_bits > len(data) * 8:
+        raise BitstreamError(
+            f"bit slice [{start_bit}, {start_bit + n_bits}) exceeds "
+            f"{len(data) * 8} available bits"
+        )
+    reader = BitReader(data)
+    reader.skip_bits(start_bit)
+    # Copy in byte-sized gulps where possible for speed.
+    remaining = n_bits
+    while remaining >= 8:
+        writer.write_bits(reader.read_bits(8), 8)
+        remaining -= 8
+    if remaining:
+        writer.write_bits(reader.read_bits(remaining), remaining)

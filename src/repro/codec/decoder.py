@@ -1,0 +1,307 @@
+"""The decoder: VLD, dequantization, IDCT and motion compensation.
+
+The decoder consumes *fragments* — independently decodable packet
+payloads produced by :mod:`repro.network.packet` — rather than whole
+frames, because under loss only some fragments of a frame arrive.  Each
+fragment carries its own header (frame index, type, QP, macroblock
+range), so the decoder can place whatever arrives and report exactly
+which macroblocks were received.  Lost macroblocks are *not* repaired
+here; concealment is a separate, pluggable stage
+(:mod:`repro.concealment`), as in the paper where the similarity factor
+is parameterized by the concealment scheme.
+
+A corrupt or truncated fragment raises no exception to the caller: the
+decoder salvages every macroblock up to the failure point and marks the
+rest as lost — mirroring how VLC desynchronization destroys the tail of
+a real packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader, BitstreamError
+from repro.codec.dct import inverse_dct
+from repro.codec.quant import dequantize
+from repro.codec.syntax import (
+    decode_macroblock,
+    decode_macroblock_skippable,
+    read_fragment_header,
+)
+from repro.codec.types import CodecConfig, FrameType, MacroblockMode
+from repro.codec.blocks import blocks_to_macroblocks, chroma_vector
+from repro.codec.halfpel import fetch_block_half
+from repro.energy.counters import OperationCounters
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one frame's surviving fragments.
+
+    Attributes:
+        frame_index: index claimed by the fragments (or the expected
+            index when nothing arrived).
+        frame_type: I or P (defaults to P when nothing arrived).
+        frame: decoded luma; lost macroblocks hold the concealment
+            *seed* (a copy of the reference frame, or mid-grey when no
+            reference exists).
+        received: ``(mb_rows, mb_cols)`` bool mask of macroblocks that
+            decoded successfully.
+        modes: per-macroblock mode for received macroblocks (None
+            elsewhere).
+        mvs_pixels: ``(mb_rows, mb_cols, 2)`` decoded motion field in
+            *pixel* units (half-pel vectors truncated), zeros for
+            intra/lost macroblocks — the raw material for motion-aware
+            concealment.
+        chroma: decoded ``(cb, cr)`` planes when the codec carries
+            4:2:0 chroma; None for luma-only streams.
+    """
+
+    frame_index: int
+    frame_type: FrameType
+    frame: np.ndarray
+    received: np.ndarray
+    modes: np.ndarray
+    mvs_pixels: Optional[np.ndarray] = None
+    chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+
+class Decoder:
+    """Stateless fragment decoder (the caller owns the reference frame).
+
+    Decoding work (VLD bits, dequantization, IDCT, motion compensation)
+    is tallied into :attr:`counters` so receive-side energy can be
+    priced with the same device profiles as the encoder — handhelds
+    spend battery on both directions of a video call.
+    """
+
+    def __init__(
+        self,
+        config: CodecConfig,
+        counters: Optional[OperationCounters] = None,
+    ) -> None:
+        self.config = config
+        self.counters = counters if counters is not None else OperationCounters()
+
+    def decode_frame(
+        self,
+        fragments: Iterable[bytes],
+        reference: Optional[np.ndarray],
+        expected_index: int = 0,
+        reference_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None,
+    ) -> DecodeResult:
+        """Decode whatever fragments of a frame survived the channel.
+
+        Args:
+            fragments: surviving fragment payloads, any order.
+            reference: previous decoder-side frame (after concealment),
+                or None at sequence start.
+            expected_index: frame index to report when no fragment
+                arrived.
+            reference_chroma: previous decoder-side ``(cb, cr)`` planes
+                (chroma codecs only).
+        """
+        config = self.config
+        mb_rows, mb_cols = config.mb_rows, config.mb_cols
+        if reference is None:
+            canvas = np.full((config.height, config.width), 128, dtype=np.uint8)
+        else:
+            if reference.shape != (config.height, config.width):
+                raise ValueError(
+                    f"reference shape {reference.shape} does not match config"
+                )
+            canvas = reference.copy()
+
+        chroma_canvases: Optional[tuple[np.ndarray, np.ndarray]] = None
+        if config.chroma:
+            half = (config.height // 2, config.width // 2)
+            if reference_chroma is None:
+                chroma_canvases = (
+                    np.full(half, 128, dtype=np.uint8),
+                    np.full(half, 128, dtype=np.uint8),
+                )
+            else:
+                cb, cr = reference_chroma
+                if cb.shape != half or cr.shape != half:
+                    raise ValueError("chroma reference shape mismatch")
+                chroma_canvases = (cb.copy(), cr.copy())
+
+        received = np.zeros((mb_rows, mb_cols), dtype=bool)
+        modes = np.full((mb_rows, mb_cols), None, dtype=object)
+        mvs_pixels = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+        frame_index = expected_index
+        frame_type = FrameType.P
+        mv_divisor = 2 if config.half_pel else 1
+
+        for payload in fragments:
+            header, decoded = self._decode_fragment(
+                payload, reference, canvas, reference_chroma, chroma_canvases
+            )
+            if header is None:
+                continue  # unreadable header: the whole fragment is lost
+            frame_index = header.frame_index
+            frame_type = header.frame_type
+            for mb_index, mode, mv in decoded:
+                row, col = divmod(mb_index, mb_cols)
+                if row < mb_rows:
+                    received[row, col] = True
+                    modes[row, col] = mode
+                    mvs_pixels[row, col, 0] = int(mv[0] / mv_divisor)
+                    mvs_pixels[row, col, 1] = int(mv[1] / mv_divisor)
+
+        return DecodeResult(
+            frame_index=frame_index,
+            frame_type=frame_type,
+            frame=canvas,
+            received=received,
+            modes=modes,
+            mvs_pixels=mvs_pixels,
+            chroma=chroma_canvases,
+        )
+
+    def _decode_fragment(
+        self,
+        payload: bytes,
+        reference: Optional[np.ndarray],
+        canvas: np.ndarray,
+        reference_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        chroma_canvases: Optional[tuple[np.ndarray, np.ndarray]] = None,
+    ):
+        """Decode one fragment onto the canvases; salvage on corruption.
+
+        Returns ``(header_or_None, [(mb_index, mode, mv), ...])``.
+        """
+        config = self.config
+        reader = BitReader(payload)
+        try:
+            header = read_fragment_header(reader)
+        except BitstreamError:
+            return None, []
+        if header.first_mb + header.mb_count > config.mb_count:
+            return None, []
+
+        pad = config.search_range + (2 if config.half_pel else 0)
+        if reference is not None:
+            padded_ref = np.pad(reference.astype(np.int64), pad, mode="edge")
+        else:
+            padded_ref = None
+        padded_chroma = None
+        if config.chroma and reference_chroma is not None:
+            padded_chroma = tuple(
+                np.pad(plane.astype(np.int64), 8, mode="edge")
+                for plane in reference_chroma
+            )
+
+        blocks_per_mb = config.blocks_per_mb
+        decode_mb = (
+            decode_macroblock_skippable if config.allow_skip else decode_macroblock
+        )
+        decoded: list[tuple[int, MacroblockMode, tuple[int, int]]] = []
+        for offset in range(header.mb_count):
+            mb_index = header.first_mb + offset
+            try:
+                emb = decode_mb(reader, header.frame_type, blocks_per_mb)
+                pixels = self._reconstruct_macroblock(
+                    emb, header, mb_index, padded_ref, pad
+                )
+                if config.chroma:
+                    chroma_pixels = self._reconstruct_chroma(
+                        emb, header, mb_index, padded_chroma
+                    )
+            except BitstreamError:
+                break  # VLC desync: everything after this point is lost
+            row, col = divmod(mb_index, config.mb_cols)
+            canvas[row * 16 : (row + 1) * 16, col * 16 : (col + 1) * 16] = pixels
+            if config.chroma:
+                assert chroma_canvases is not None
+                for plane, block in zip(chroma_canvases, chroma_pixels):
+                    plane[row * 8 : (row + 1) * 8, col * 8 : (col + 1) * 8] = (
+                        block
+                    )
+            decoded.append((mb_index, emb.mode, emb.mv))
+            self.counters.dequant_blocks += blocks_per_mb
+            self.counters.idct_blocks += blocks_per_mb
+            self.counters.mode_decisions += 1
+            if emb.mode is MacroblockMode.INTER:
+                self.counters.mc_blocks += 1
+        self.counters.entropy_bits += reader.bits_consumed
+        return header, decoded
+
+    def _reconstruct_chroma(
+        self,
+        emb,
+        header,
+        mb_index: int,
+        padded_chroma: Optional[tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dequantize/inverse-transform the macroblock's Cb and Cr blocks."""
+        config = self.config
+        intra = emb.mode is MacroblockMode.INTRA
+        coefficients = dequantize(emb.coefficients[4:6], header.qp, intra=intra)
+        blocks = inverse_dct(coefficients, config.use_fixed_point_dct)
+        if intra:
+            return tuple(
+                np.clip(block, 0, 255).astype(np.uint8) for block in blocks
+            )
+        if padded_chroma is None:
+            raise BitstreamError(
+                f"inter macroblock {mb_index} with no chroma reference"
+            )
+        if config.half_pel:
+            cdy = chroma_vector(int(np.fix(emb.mv[0] / 2.0)))
+            cdx = chroma_vector(int(np.fix(emb.mv[1] / 2.0)))
+        else:
+            cdy = chroma_vector(emb.mv[0])
+            cdx = chroma_vector(emb.mv[1])
+        row, col = divmod(mb_index, config.mb_cols)
+        y = row * 8 + 8 + cdy
+        x = col * 8 + 8 + cdx
+        out = []
+        for block, padded in zip(blocks, padded_chroma):
+            prediction = padded[y : y + 8, x : x + 8]
+            out.append(np.clip(block + prediction, 0, 255).astype(np.uint8))
+        return tuple(out)
+
+    def _reconstruct_macroblock(
+        self,
+        emb,
+        header,
+        mb_index: int,
+        padded_ref: Optional[np.ndarray],
+        pad: int,
+    ) -> np.ndarray:
+        """Dequantize, inverse-transform and motion-compensate one MB."""
+        config = self.config
+        intra = emb.mode is MacroblockMode.INTRA
+        coefficients = dequantize(emb.coefficients[:4], header.qp, intra=intra)
+        blocks = inverse_dct(coefficients, config.use_fixed_point_dct)
+        mb_pixels = blocks_to_macroblocks(blocks[None, ...])[0]
+
+        if intra:
+            return np.clip(mb_pixels, 0, 255).astype(np.uint8)
+
+        if padded_ref is None:
+            raise BitstreamError(
+                f"inter macroblock {mb_index} with no reference frame"
+            )
+        dy, dx = emb.mv
+        limit = (
+            2 * config.search_range if config.half_pel else config.search_range
+        )
+        if abs(dy) > limit or abs(dx) > limit:
+            raise BitstreamError(
+                f"motion vector ({dy}, {dx}) exceeds coded range {limit}"
+            )
+        row, col = divmod(mb_index, config.mb_cols)
+        if config.half_pel:
+            prediction = fetch_block_half(
+                padded_ref, pad, row * 16, col * 16, (dy, dx)
+            )
+        else:
+            y = row * 16 + pad + dy
+            x = col * 16 + pad + dx
+            prediction = padded_ref[y : y + 16, x : x + 16]
+        return np.clip(mb_pixels + prediction, 0, 255).astype(np.uint8)

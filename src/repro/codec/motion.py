@@ -1,0 +1,496 @@
+"""Motion estimation: diamond, three-step and exhaustive searches.
+
+All estimators are vectorized across the entire frame: the full search
+computes, for each of the ``(2R+1)^2`` displacements, the SAD of *every*
+macroblock at once via a shifted-difference image and a block-sum
+reshape; the per-macroblock searches (three-step, diamond) track
+per-macroblock centers and gather candidate blocks with advanced
+indexing.
+
+The estimators accept an optional *cost function* so that PBPAIR can
+bias the search toward reference blocks with high probability of
+correctness (Section 3.1.2 of the paper) without the codec knowing
+anything about probabilities: the cost function maps
+``(sad, dy, dx, mb_row, mb_col)`` arrays to a cost array, and the
+estimator minimizes cost while still reporting the true SAD of the
+winner (the SAD is what the inter/intra decision needs).
+
+Every estimator reports how many candidate blocks it evaluated; the
+energy model prices those evaluations, which is how "skipping ME"
+becomes an energy saving.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.codec.blocks import MB
+
+#: Cost-function signature: arrays broadcastable to a common shape; must
+#: return a float cost of the same broadcast shape.  ``dy``/``dx`` may be
+#: scalars (full search evaluates one displacement for all macroblocks at
+#: a time) or per-macroblock arrays (three-step search).
+MECostFunction = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray
+]
+
+
+@dataclass(frozen=True)
+class MotionField:
+    """Result of motion estimation over one frame.
+
+    Attributes:
+        mvs: ``(mb_rows, mb_cols, 2)`` integer motion vectors ``(dy, dx)``
+            pointing into the reference frame.
+        sads: ``(mb_rows, mb_cols)`` SAD of each chosen reference block.
+        candidates_evaluated: total candidate blocks whose SAD was
+            computed (the energy-relevant operation count).
+        candidates_per_mb: optional ``(mb_rows, mb_cols)`` breakdown of
+            ``candidates_evaluated`` (zero for skipped macroblocks).
+            Fixed-cost searches fill it uniformly; the diamond search
+            records each macroblock's actual path length.
+    """
+
+    mvs: np.ndarray
+    sads: np.ndarray
+    candidates_evaluated: int
+    candidates_per_mb: Optional[np.ndarray] = None
+
+    def mv(self, row: int, col: int) -> tuple[int, int]:
+        dy, dx = self.mvs[row, col]
+        return int(dy), int(dx)
+
+
+def _check_pair(current: np.ndarray, reference: np.ndarray) -> None:
+    if current.shape != reference.shape:
+        raise ValueError(
+            f"current {current.shape} and reference {reference.shape} differ"
+        )
+    if current.ndim != 2 or current.shape[0] % MB or current.shape[1] % MB:
+        raise ValueError(f"bad frame shape {current.shape}")
+
+
+def _block_sums(diff: np.ndarray) -> np.ndarray:
+    """Sum a per-pixel array over each 16x16 macroblock."""
+    height, width = diff.shape
+    return (
+        diff.reshape(height // MB, MB, width // MB, MB)
+        .sum(axis=(1, 3))
+    )
+
+
+class MotionEstimator(abc.ABC):
+    """Interface shared by the search strategies."""
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        cost_function: Optional[MECostFunction] = None,
+        active: Optional[np.ndarray] = None,
+    ) -> MotionField:
+        """Find a motion vector for every macroblock of ``current``.
+
+        Args:
+            current: luma frame being encoded.
+            reference: previous reconstructed luma frame.
+            cost_function: optional re-weighting of SAD (PBPAIR).
+            active: optional ``(mb_rows, mb_cols)`` bool mask; inactive
+                macroblocks are skipped entirely (their ME was pre-empted
+                by an intra decision) and contribute no candidate
+                evaluations.  Their reported MV is ``(0, 0)`` and SAD 0.
+        """
+
+
+class FullSearchMotionEstimator(MotionEstimator):
+    """Exhaustive integer-pel search over a ``+/-search_range`` window."""
+
+    def __init__(self, search_range: int = 7) -> None:
+        if not 1 <= search_range < MB:
+            raise ValueError(
+                f"search_range must be in [1, {MB - 1}], got {search_range}"
+            )
+        self.search_range = search_range
+
+    def estimate(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        cost_function: Optional[MECostFunction] = None,
+        active: Optional[np.ndarray] = None,
+    ) -> MotionField:
+        _check_pair(current, reference)
+        srange = self.search_range
+        height, width = current.shape
+        mb_rows, mb_cols = height // MB, width // MB
+        current_i = current.astype(np.int64)
+        padded = np.pad(reference.astype(np.int64), srange, mode="edge")
+
+        if active is None:
+            active = np.ones((mb_rows, mb_cols), dtype=bool)
+        n_active = int(active.sum())
+
+        row_grid, col_grid = np.meshgrid(
+            np.arange(mb_rows), np.arange(mb_cols), indexing="ij"
+        )
+
+        best_cost = np.full((mb_rows, mb_cols), np.inf)
+        best_sad = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+        best_mv = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+
+        for dy in range(-srange, srange + 1):
+            for dx in range(-srange, srange + 1):
+                window = padded[
+                    srange + dy : srange + dy + height,
+                    srange + dx : srange + dx + width,
+                ]
+                sad_map = _block_sums(np.abs(current_i - window))
+                if cost_function is None:
+                    cost_map = sad_map.astype(np.float64)
+                else:
+                    cost_map = cost_function(
+                        sad_map,
+                        np.int64(dy),
+                        np.int64(dx),
+                        row_grid,
+                        col_grid,
+                    )
+                better = active & (cost_map < best_cost)
+                best_cost = np.where(better, cost_map, best_cost)
+                best_sad = np.where(better, sad_map, best_sad)
+                best_mv[better] = (dy, dx)
+
+        n_displacements = (2 * srange + 1) ** 2
+        per_mb = np.where(active, n_displacements, 0).astype(np.int64)
+        return MotionField(
+            mvs=best_mv,
+            sads=best_sad,
+            candidates_evaluated=n_displacements * n_active,
+            candidates_per_mb=per_mb,
+        )
+
+
+class ThreeStepMotionEstimator(MotionEstimator):
+    """Classic three-step (logarithmic) search.
+
+    Evaluates 9 candidates around a per-macroblock center, halving the
+    step each round.  Roughly ``9 * ceil(log2 R)`` candidates per
+    macroblock instead of ``(2R+1)^2`` — the low-energy search option.
+    """
+
+    def __init__(self, search_range: int = 7) -> None:
+        if not 1 <= search_range < MB:
+            raise ValueError(
+                f"search_range must be in [1, {MB - 1}], got {search_range}"
+            )
+        self.search_range = search_range
+
+    def _gather_sads(
+        self,
+        current_mbs: np.ndarray,
+        padded: np.ndarray,
+        origins_y: np.ndarray,
+        origins_x: np.ndarray,
+        cand_y: np.ndarray,
+        cand_x: np.ndarray,
+    ) -> np.ndarray:
+        """SAD of each active macroblock against one candidate position.
+
+        ``cand_y``/``cand_x`` are absolute padded-frame origins of the
+        candidate blocks, one per active macroblock.
+        """
+        offsets = np.arange(MB)
+        rows = cand_y[:, None, None] + offsets[None, :, None]
+        cols = cand_x[:, None, None] + offsets[None, None, :]
+        candidates = padded[rows, cols]
+        return np.abs(current_mbs - candidates).sum(axis=(1, 2))
+
+    def estimate(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        cost_function: Optional[MECostFunction] = None,
+        active: Optional[np.ndarray] = None,
+    ) -> MotionField:
+        _check_pair(current, reference)
+        srange = self.search_range
+        height, width = current.shape
+        mb_rows, mb_cols = height // MB, width // MB
+        if active is None:
+            active = np.ones((mb_rows, mb_cols), dtype=bool)
+
+        mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+        sads = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+        rows_idx, cols_idx = np.nonzero(active)
+        if rows_idx.size == 0:
+            return MotionField(
+                mvs, sads, 0, np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            )
+
+        padded = np.pad(reference.astype(np.int64), srange, mode="edge")
+        current_i = current.astype(np.int64)
+        current_mbs = np.stack(
+            [
+                current_i[r * MB : (r + 1) * MB, c * MB : (c + 1) * MB]
+                for r, c in zip(rows_idx, cols_idx)
+            ]
+        )
+        origins_y = rows_idx * MB + srange
+        origins_x = cols_idx * MB + srange
+
+        center_dy = np.zeros(rows_idx.size, dtype=np.int64)
+        center_dx = np.zeros(rows_idx.size, dtype=np.int64)
+        best_cost = np.full(rows_idx.size, np.inf)
+        best_sad = np.zeros(rows_idx.size, dtype=np.int64)
+        best_dy = np.zeros(rows_idx.size, dtype=np.int64)
+        best_dx = np.zeros(rows_idx.size, dtype=np.int64)
+        evaluated = 0
+
+        step = 1 << max(srange.bit_length() - 1, 0)
+        seeded = False
+        while step >= 1:
+            for oy in (-step, 0, step):
+                for ox in (-step, 0, step):
+                    if seeded and oy == 0 and ox == 0:
+                        continue  # center already scored in a prior round
+                    dy = np.clip(center_dy + oy, -srange, srange)
+                    dx = np.clip(center_dx + ox, -srange, srange)
+                    sad = self._gather_sads(
+                        current_mbs,
+                        padded,
+                        origins_y,
+                        origins_x,
+                        origins_y + dy,
+                        origins_x + dx,
+                    )
+                    evaluated += rows_idx.size
+                    if cost_function is None:
+                        cost = sad.astype(np.float64)
+                    else:
+                        cost = cost_function(sad, dy, dx, rows_idx, cols_idx)
+                    better = cost < best_cost
+                    best_cost = np.where(better, cost, best_cost)
+                    best_sad = np.where(better, sad, best_sad)
+                    best_dy = np.where(better, dy, best_dy)
+                    best_dx = np.where(better, dx, best_dx)
+            center_dy, center_dx = best_dy.copy(), best_dx.copy()
+            seeded = True
+            step //= 2
+
+        mvs[rows_idx, cols_idx, 0] = best_dy
+        mvs[rows_idx, cols_idx, 1] = best_dx
+        sads[rows_idx, cols_idx] = best_sad
+        per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+        per_mb[rows_idx, cols_idx] = evaluated // rows_idx.size
+        return MotionField(mvs, sads, evaluated, per_mb)
+
+
+class DiamondSearchMotionEstimator(MotionEstimator):
+    """Diamond search with early termination — the adaptive-cost search.
+
+    Real encoders (TMN H.263, MPEG-4 VM, x264) do not pay a fixed price
+    per macroblock: an easy macroblock (static content, good predictor)
+    terminates after a handful of SAD evaluations while a hard one
+    (fast or complex motion) walks a long search path.  That cost
+    asymmetry is what makes *which* macroblocks a scheme intra-codes
+    matter for energy, not just how many: skipping the searches that
+    would have been expensive (PBPAIR's content-driven refresh) saves
+    far more than skipping average ones (PGOP's columns).
+
+    Algorithm: evaluate the center; accept immediately if SAD is below
+    ``early_exit_sad`` (zero-motion shortcut).  Otherwise iterate the
+    large diamond (8 points, step 2) until the best stays at the
+    center, then refine with the small diamond (4 points, step 1).
+    """
+
+    _LARGE_DIAMOND = (
+        (-2, 0), (-1, -1), (-1, 1), (0, -2), (0, 2), (1, -1), (1, 1), (2, 0),
+    )
+    _SMALL_DIAMOND = ((-1, 0), (0, -1), (0, 1), (1, 0))
+
+    def __init__(self, search_range: int = 15, early_exit_sad: int = 1600) -> None:
+        if search_range < 1:
+            raise ValueError(f"search_range must be >= 1, got {search_range}")
+        if early_exit_sad < 0:
+            raise ValueError("early_exit_sad must be >= 0")
+        self.search_range = search_range
+        self.early_exit_sad = early_exit_sad
+
+    def estimate(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        cost_function: Optional[MECostFunction] = None,
+        active: Optional[np.ndarray] = None,
+    ) -> MotionField:
+        _check_pair(current, reference)
+        srange = self.search_range
+        height, width = current.shape
+        mb_rows, mb_cols = height // MB, width // MB
+        if active is None:
+            active = np.ones((mb_rows, mb_cols), dtype=bool)
+
+        mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+        sads = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+        rows_idx, cols_idx = np.nonzero(active)
+        n = rows_idx.size
+        if n == 0:
+            return MotionField(
+                mvs, sads, 0, np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            )
+
+        padded = np.pad(reference.astype(np.int64), srange, mode="edge")
+        current_i = current.astype(np.int64)
+        current_mbs = np.stack(
+            [
+                current_i[r * MB : (r + 1) * MB, c * MB : (c + 1) * MB]
+                for r, c in zip(rows_idx, cols_idx)
+            ]
+        )
+        origins_y = rows_idx * MB + srange
+        origins_x = cols_idx * MB + srange
+        offsets = np.arange(MB)
+
+        def gather(sel: np.ndarray, dy: np.ndarray, dx: np.ndarray) -> np.ndarray:
+            rows = (origins_y[sel] + dy)[:, None, None] + offsets[None, :, None]
+            cols = (origins_x[sel] + dx)[:, None, None] + offsets[None, None, :]
+            return np.abs(current_mbs[sel] - padded[rows, cols]).sum(axis=(1, 2))
+
+        def score(
+            sel: np.ndarray, sad: np.ndarray, dy: np.ndarray, dx: np.ndarray
+        ) -> np.ndarray:
+            if cost_function is None:
+                return sad.astype(np.float64)
+            return cost_function(sad, dy, dx, rows_idx[sel], cols_idx[sel])
+
+        best_dy = np.zeros(n, dtype=np.int64)
+        best_dx = np.zeros(n, dtype=np.int64)
+        everyone = np.ones(n, dtype=bool)
+        best_sad = gather(everyone, best_dy, best_dx)
+        best_cost = score(everyone, best_sad, best_dy, best_dx)
+        evaluated = n
+        evals_per_mb = np.ones(n, dtype=np.int64)
+
+        searching = best_sad >= self.early_exit_sad  # zero-motion shortcut
+        # Large-diamond walk: each round moves every still-searching
+        # macroblock's center to its best neighbour; a macroblock whose
+        # center survives the round graduates to the small-diamond pass.
+        for _ in range(2 * srange):
+            if not searching.any():
+                break
+            improved = np.zeros(n, dtype=bool)
+            for oy, ox in self._LARGE_DIAMOND:
+                dy = np.clip(best_dy[searching] + oy, -srange, srange)
+                dx = np.clip(best_dx[searching] + ox, -srange, srange)
+                sad = gather(searching, dy, dx)
+                cost = score(searching, sad, dy, dx)
+                evaluated += int(searching.sum())
+                evals_per_mb[searching] += 1
+                sel = np.nonzero(searching)[0]
+                better = cost < best_cost[sel]
+                idx = sel[better]
+                best_cost[idx] = cost[better]
+                best_sad[idx] = sad[better]
+                best_dy[idx] = dy[better]
+                best_dx[idx] = dx[better]
+                improved[idx] = True
+            searching &= improved
+
+        # Small-diamond refinement for everything that actually searched.
+        refine = best_sad >= self.early_exit_sad
+        if refine.any():
+            for oy, ox in self._SMALL_DIAMOND:
+                dy = np.clip(best_dy[refine] + oy, -srange, srange)
+                dx = np.clip(best_dx[refine] + ox, -srange, srange)
+                sad = gather(refine, dy, dx)
+                cost = score(refine, sad, dy, dx)
+                evaluated += int(refine.sum())
+                evals_per_mb[refine] += 1
+                sel = np.nonzero(refine)[0]
+                better = cost < best_cost[sel]
+                idx = sel[better]
+                best_cost[idx] = cost[better]
+                best_sad[idx] = sad[better]
+                best_dy[idx] = dy[better]
+                best_dx[idx] = dx[better]
+
+        mvs[rows_idx, cols_idx, 0] = best_dy
+        mvs[rows_idx, cols_idx, 1] = best_dx
+        sads[rows_idx, cols_idx] = best_sad
+        per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+        per_mb[rows_idx, cols_idx] = evals_per_mb
+        return MotionField(mvs, sads, evaluated, per_mb)
+
+
+def build_motion_estimator(
+    kind: str, search_range: int, early_exit_sad: int = 1600
+) -> MotionEstimator:
+    """Factory used by the encoder: ``"full"``, ``"three-step"`` or
+    ``"diamond"``."""
+    if kind == "full":
+        return FullSearchMotionEstimator(search_range)
+    if kind == "three-step":
+        return ThreeStepMotionEstimator(search_range)
+    if kind == "diamond":
+        return DiamondSearchMotionEstimator(search_range, early_exit_sad)
+    raise ValueError(f"unknown motion search kind {kind!r}")
+
+
+def motion_compensate_chroma(
+    reference_plane: np.ndarray, mvs: np.ndarray
+) -> np.ndarray:
+    """4:2:0 chroma prediction: one 8x8 fetch per macroblock.
+
+    ``mvs`` is the *luma* motion field; each component is halved with
+    :func:`repro.codec.blocks.chroma_vector` (round half away from
+    zero), the same mapping the decoder applies.
+    """
+    from repro.codec.blocks import BLK, chroma_vector
+
+    height, width = reference_plane.shape
+    mb_rows, mb_cols = height // BLK, width // BLK
+    if mvs.shape != (mb_rows, mb_cols, 2):
+        raise ValueError(f"motion field shape {mvs.shape} mismatches plane")
+    pad = 8
+    padded = np.pad(reference_plane, pad, mode="edge")
+    prediction = np.empty_like(reference_plane)
+    for row in range(mb_rows):
+        for col in range(mb_cols):
+            cdy = chroma_vector(int(mvs[row, col, 0]))
+            cdx = chroma_vector(int(mvs[row, col, 1]))
+            y = row * BLK + pad + cdy
+            x = col * BLK + pad + cdx
+            prediction[row * BLK : (row + 1) * BLK, col * BLK : (col + 1) * BLK] = (
+                padded[y : y + BLK, x : x + BLK]
+            )
+    return prediction
+
+
+def motion_compensate(reference: np.ndarray, mvs: np.ndarray) -> np.ndarray:
+    """Build the per-macroblock motion-compensated prediction frame.
+
+    ``mvs`` is an ``(mb_rows, mb_cols, 2)`` integer field; out-of-frame
+    references use edge padding, matching the estimators.
+    """
+    height, width = reference.shape
+    mb_rows, mb_cols = height // MB, width // MB
+    if mvs.shape != (mb_rows, mb_cols, 2):
+        raise ValueError(f"motion field shape {mvs.shape} mismatches frame")
+    max_mag = int(np.abs(mvs).max()) if mvs.size else 0
+    pad = max(max_mag, 1)
+    padded = np.pad(reference, pad, mode="edge")
+    prediction = np.empty_like(reference)
+    for row in range(mb_rows):
+        for col in range(mb_cols):
+            dy, dx = int(mvs[row, col, 0]), int(mvs[row, col, 1])
+            y = row * MB + pad + dy
+            x = col * MB + pad + dx
+            prediction[row * MB : (row + 1) * MB, col * MB : (col + 1) * MB] = (
+                padded[y : y + MB, x : x + MB]
+            )
+    return prediction

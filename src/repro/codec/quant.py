@@ -1,0 +1,71 @@
+"""H.263-style scalar quantization of DCT coefficients.
+
+H.263 quantizes with a uniform step of ``2 * QP`` (QP in [1, 31]) and a
+dead zone for inter blocks, and reconstructs mid-rise:
+``|rec| = QP * (2 |level| + 1)`` (minus one when QP is even, to keep the
+value odd — the standard's oddification).  The intra DC coefficient is
+special-cased with a fixed step of 8, as in the standard.
+
+All functions are vectorized over ``(n, 8, 8)`` coefficient batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Coefficient clamp range (H.263 reconstruction levels are 12-bit).
+COEFF_MIN, COEFF_MAX = -2048, 2047
+#: Quantized level clamp (H.263 levels are signed 8-bit, +/-127).
+LEVEL_MIN, LEVEL_MAX = -127, 127
+#: Fixed quantizer step for the intra DC coefficient.
+INTRA_DC_STEP = 8
+
+
+def _check_qp(qp: int) -> None:
+    if not 1 <= qp <= 31:
+        raise ValueError(f"QP must be in [1, 31], got {qp}")
+
+
+def quantize(coefficients: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Quantize a batch of 8x8 DCT coefficient blocks to integer levels.
+
+    Intra blocks use ``level = coeff / (2 QP)``; inter blocks subtract a
+    half-step dead zone first, which suppresses small residual noise.
+    The intra DC term uses the fixed step :data:`INTRA_DC_STEP` and is
+    kept strictly positive (H.263 codes it as an unsigned byte).
+    """
+    _check_qp(qp)
+    coefficients = np.clip(np.asarray(coefficients), COEFF_MIN, COEFF_MAX)
+    magnitude = np.abs(coefficients.astype(np.int64))
+    step = 2 * qp
+    if intra:
+        levels = magnitude // step
+    else:
+        levels = np.maximum(magnitude - qp // 2, 0) // step
+    levels = np.clip(levels, 0, LEVEL_MAX)
+    levels = (np.sign(coefficients) * levels).astype(np.int32)
+    if intra:
+        dc = np.rint(coefficients[..., 0, 0] / INTRA_DC_STEP).astype(np.int32)
+        levels[..., 0, 0] = np.clip(dc, 1, 254)
+    return levels
+
+
+def dequantize(levels: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Reconstruct DCT coefficients from quantized levels.
+
+    Inverse of :func:`quantize` up to quantization error:
+    ``|rec| = QP (2|level| + 1)`` for nonzero levels, oddified for even
+    QP, clamped to the 12-bit coefficient range.
+    """
+    _check_qp(qp)
+    levels = np.asarray(levels, dtype=np.int64)
+    magnitude = np.abs(levels)
+    reconstructed = qp * (2 * magnitude + 1)
+    if qp % 2 == 0:
+        reconstructed -= 1
+    reconstructed = np.where(magnitude == 0, 0, reconstructed)
+    reconstructed = np.sign(levels) * reconstructed
+    if intra:
+        reconstructed = reconstructed.copy()
+        reconstructed[..., 0, 0] = levels[..., 0, 0] * INTRA_DC_STEP
+    return np.clip(reconstructed, COEFF_MIN, COEFF_MAX).astype(np.int32)

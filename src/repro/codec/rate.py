@@ -1,0 +1,87 @@
+"""Frame-level rate control (extension; see the paper's conclusions).
+
+The paper notes PBPAIR "is independent from any other encoder and/or
+decoder side control mechanisms (i.e. rate control, channel coding,
+etc.)" and leaves their cooperation as future work.  This module
+provides the classic virtual-buffer rate controller those H.263
+encoders shipped with, so the independence claim can actually be
+exercised: the controller steers the quantizer toward a target
+bits-per-frame while any resilience strategy runs unchanged (the
+per-frame QP travels in each fragment header, so the decoder needs no
+side channel).
+
+Control law: a leaky-bucket virtual buffer integrates the overshoot
+``bits - target`` each frame, and the quantizer is the base QP plus a
+term proportional to buffer fullness::
+
+    qp_k = clip(round(base_qp + sensitivity * buffer / target), 1, 31)
+
+Larger buffers (sustained overshoot) coarsen the quantizer; sustained
+undershoot drives the buffer negative (bounded at three target frames
+of savings) and refines it.
+"""
+
+from __future__ import annotations
+
+
+class RateController:
+    """Virtual-buffer quantizer controller targeting bits per frame.
+
+    Args:
+        target_bits_per_frame: the rate budget.
+        base_qp: quantizer when the buffer is empty.
+        sensitivity: QP steps added per target-frame of buffered
+            overshoot.
+        min_qp, max_qp: quantizer clamp range.
+    """
+
+    def __init__(
+        self,
+        target_bits_per_frame: int,
+        base_qp: int = 6,
+        sensitivity: float = 2.0,
+        min_qp: int = 1,
+        max_qp: int = 31,
+    ) -> None:
+        if target_bits_per_frame <= 0:
+            raise ValueError("target_bits_per_frame must be positive")
+        if not 1 <= min_qp <= base_qp <= max_qp <= 31:
+            raise ValueError("require 1 <= min_qp <= base_qp <= max_qp <= 31")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self.target_bits_per_frame = target_bits_per_frame
+        self.base_qp = base_qp
+        self.sensitivity = sensitivity
+        self.min_qp = min_qp
+        self.max_qp = max_qp
+        self._buffer_bits = 0.0
+
+    @property
+    def buffer_bits(self) -> float:
+        """Current virtual-buffer fullness (bits of accumulated overshoot)."""
+        return self._buffer_bits
+
+    @property
+    def quantizer(self) -> int:
+        """The QP the next frame should be encoded with."""
+        fullness = self._buffer_bits / self.target_bits_per_frame
+        qp = round(self.base_qp + self.sensitivity * fullness)
+        return int(min(max(qp, self.min_qp), self.max_qp))
+
+    #: How many target frames of savings the buffer may bank; bounds
+    #: how far sustained undershoot can refine the quantizer and how
+    #: large a burst the encoder may spend afterwards.
+    MAX_BANKED_FRAMES = 3.0
+
+    def observe(self, bits: int) -> int:
+        """Account one encoded frame's size; returns the next frame's QP."""
+        if bits < 0:
+            raise ValueError("bits must be >= 0")
+        floor = -self.MAX_BANKED_FRAMES * self.target_bits_per_frame
+        self._buffer_bits = max(
+            floor, self._buffer_bits + bits - self.target_bits_per_frame
+        )
+        return self.quantizer
+
+    def reset(self) -> None:
+        self._buffer_bits = 0.0

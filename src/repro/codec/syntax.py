@@ -1,0 +1,170 @@
+"""Bitstream syntax: macroblock layer and fragment headers.
+
+The coded representation of a frame is its *macroblock layer*: the
+macroblocks in raster order, each carrying a mode bit (P-frames), a
+motion vector (inter macroblocks) and four entropy-coded 8x8 luma
+blocks.  Frame-level parameters travel in a *fragment header* written by
+the packetizer, so every packet is independently decodable (RTP
+H.263-payload style): losing one fragment of a frame costs only the
+macroblocks it carried.
+
+Layout of one fragment payload::
+
+    magic(8) frame_index(16) frame_type(1) qp(5) first_mb ue(v)
+    mb_count ue(v) <macroblock layer bits for those macroblocks>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader, BitWriter, BitstreamError
+from repro.codec.entropy import (
+    decode_blocks,
+    encode_blocks,
+    read_se,
+    read_ue,
+    write_se,
+    write_ue,
+)
+from repro.codec.types import FrameType, MacroblockMode, EncodedMacroblock
+
+#: Sanity byte opening every fragment.
+FRAGMENT_MAGIC = 0xD5
+#: Fixed fragment-header widths.
+_FRAME_INDEX_BITS = 16
+_QP_BITS = 5
+
+
+@dataclass(frozen=True)
+class FragmentHeader:
+    """Self-describing header of one packet payload."""
+
+    frame_index: int
+    frame_type: FrameType
+    qp: int
+    first_mb: int
+    mb_count: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frame_index < (1 << _FRAME_INDEX_BITS):
+            raise ValueError(f"frame_index {self.frame_index} out of range")
+        if not 1 <= self.qp <= 31:
+            raise ValueError(f"qp {self.qp} out of range")
+        if self.first_mb < 0 or self.mb_count < 1:
+            raise ValueError("fragment must cover at least one macroblock")
+
+
+def write_fragment_header(writer: BitWriter, header: FragmentHeader) -> None:
+    writer.write_bits(FRAGMENT_MAGIC, 8)
+    writer.write_bits(header.frame_index, _FRAME_INDEX_BITS)
+    writer.write_bit(0 if header.frame_type is FrameType.I else 1)
+    writer.write_bits(header.qp, _QP_BITS)
+    write_ue(writer, header.first_mb)
+    write_ue(writer, header.mb_count - 1)
+
+
+def read_fragment_header(reader: BitReader) -> FragmentHeader:
+    magic = reader.read_bits(8)
+    if magic != FRAGMENT_MAGIC:
+        raise BitstreamError(f"bad fragment magic 0x{magic:02x}")
+    frame_index = reader.read_bits(_FRAME_INDEX_BITS)
+    frame_type = FrameType.P if reader.read_bit() else FrameType.I
+    qp = reader.read_bits(_QP_BITS)
+    first_mb = read_ue(reader)
+    mb_count = read_ue(reader) + 1
+    return FragmentHeader(frame_index, frame_type, qp, first_mb, mb_count)
+
+
+def encode_macroblock(
+    writer: BitWriter,
+    frame_type: FrameType,
+    mode: MacroblockMode,
+    mv: tuple[int, int],
+    blocks: np.ndarray,
+) -> None:
+    """Write one macroblock's syntax elements.
+
+    ``blocks`` is the macroblock's quantized level array: ``(4, 8, 8)``
+    luma-only or ``(6, 8, 8)`` with 4:2:0 chroma (Y Y Y Y Cb Cr, the
+    H.263 block order).  I-frames carry no mode bit (every macroblock
+    is intra) and no motion vector; P-frame inter macroblocks carry the
+    motion vector as two signed Exp-Golomb codes.
+    """
+    if frame_type is FrameType.I and mode is not MacroblockMode.INTRA:
+        raise ValueError("I-frames may only contain intra macroblocks")
+    if frame_type is FrameType.P:
+        writer.write_bit(1 if mode is MacroblockMode.INTRA else 0)
+        if mode is MacroblockMode.INTER:
+            write_se(writer, mv[0])
+            write_se(writer, mv[1])
+    encode_blocks(writer, blocks)
+
+
+def encode_macroblock_skippable(
+    writer: BitWriter,
+    frame_type: FrameType,
+    mode: MacroblockMode,
+    mv: tuple[int, int],
+    blocks: np.ndarray,
+) -> None:
+    """Macroblock syntax with H.263's COD bit (``allow_skip`` codecs).
+
+    P-frame macroblocks lead with one bit: 1 = skipped (zero motion,
+    zero residual, nothing else coded), 0 = coded, followed by the
+    plain macroblock syntax.  I-frames never skip.
+    """
+    if frame_type is FrameType.P:
+        skippable = (
+            mode is MacroblockMode.INTER
+            and mv == (0, 0)
+            and not blocks.any()
+        )
+        writer.write_bit(1 if skippable else 0)
+        if skippable:
+            return
+    encode_macroblock(writer, frame_type, mode, mv, blocks)
+
+
+def decode_macroblock(
+    reader: BitReader, frame_type: FrameType, blocks_per_mb: int = 4
+) -> EncodedMacroblock:
+    """Read one macroblock's syntax elements (inverse of encode).
+
+    ``blocks_per_mb`` is 4 for luma-only streams, 6 with 4:2:0 chroma;
+    it comes from the codec configuration shared out of band (like the
+    picture dimensions).
+    """
+    if blocks_per_mb not in (4, 6):
+        raise ValueError(f"blocks_per_mb must be 4 or 6, got {blocks_per_mb}")
+    if frame_type is FrameType.I:
+        mode = MacroblockMode.INTRA
+        mv = (0, 0)
+    else:
+        mode = MacroblockMode.INTRA if reader.read_bit() else MacroblockMode.INTER
+        if mode is MacroblockMode.INTER:
+            mv = (read_se(reader), read_se(reader))
+        else:
+            mv = (0, 0)
+    coefficients = decode_blocks(reader, blocks_per_mb)
+    return EncodedMacroblock(mode=mode, mv=mv, coefficients=coefficients)
+
+
+def decode_macroblock_skippable(
+    reader: BitReader, frame_type: FrameType, blocks_per_mb: int = 4
+) -> EncodedMacroblock:
+    """Inverse of :func:`encode_macroblock_skippable`.
+
+    A skipped macroblock comes back as INTER with zero motion and an
+    all-zero coefficient array — semantically identical to decoding a
+    fully coded-but-empty macroblock, just one bit on the wire.
+    """
+    if frame_type is FrameType.P and reader.read_bit():
+        return EncodedMacroblock(
+            mode=MacroblockMode.INTER,
+            mv=(0, 0),
+            coefficients=np.zeros((blocks_per_mb, 8, 8), dtype=np.int32),
+        )
+    return decode_macroblock(reader, frame_type, blocks_per_mb)

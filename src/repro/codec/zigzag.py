@@ -1,0 +1,43 @@
+"""Zigzag scan order for 8x8 DCT coefficient blocks.
+
+The zigzag scan orders coefficients from low to high spatial frequency so
+that the quantized high-frequency zeros cluster at the end of the vector,
+which is what makes run-level entropy coding effective.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=1)
+def zigzag_order() -> np.ndarray:
+    """Indices that reorder a flattened 8x8 block into zigzag order.
+
+    ``flat_block[zigzag_order()]`` walks the block along anti-diagonals,
+    alternating direction, starting at DC — the standard JPEG/H.263 scan.
+    """
+    order = []
+    for diagonal in range(15):
+        cells = [
+            (r, diagonal - r)
+            for r in range(8)
+            if 0 <= diagonal - r < 8
+        ]
+        if diagonal % 2 == 0:
+            cells.reverse()  # even diagonals run bottom-left to top-right
+        order.extend(r * 8 + c for r, c in cells)
+    indices = np.array(order, dtype=np.int64)
+    indices.setflags(write=False)
+    return indices
+
+
+@lru_cache(maxsize=1)
+def inverse_zigzag_order() -> np.ndarray:
+    """Indices that undo :func:`zigzag_order`."""
+    inverse = np.empty(64, dtype=np.int64)
+    inverse[zigzag_order()] = np.arange(64)
+    inverse.setflags(write=False)
+    return inverse

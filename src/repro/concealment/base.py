@@ -1,0 +1,44 @@
+"""The concealment interface.
+
+The decoder leaves lost macroblocks holding a copy of the reference
+frame and reports which macroblocks were received; a concealment
+strategy then repairs the lost ones in place.  Keeping this stage
+separate mirrors the paper, where the encoder's similarity factor is
+parameterized by whichever concealment the decoder uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class ConcealmentStrategy(abc.ABC):
+    """Repairs lost macroblocks of a decoded frame."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def conceal(
+        self,
+        frame: np.ndarray,
+        received: np.ndarray,
+        reference: Optional[np.ndarray],
+        mvs_pixels: Optional[np.ndarray] = None,
+        modes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return the frame with lost macroblocks repaired.
+
+        Args:
+            frame: decoded luma; lost macroblocks hold the decoder's
+                seed content (reference copy or mid-grey).
+            received: ``(mb_rows, mb_cols)`` bool mask of macroblocks
+                that decoded successfully.
+            reference: previous decoder-side frame, or None at start.
+            mvs_pixels: optional decoded motion field in pixel units
+                (zeros at intra/lost macroblocks) — motion-aware
+                strategies use it, others may ignore it.
+            modes: optional per-macroblock decoded modes.
+        """

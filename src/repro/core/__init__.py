@@ -1,0 +1,52 @@
+"""PBPAIR — Probability Based Power Aware Intra Refresh (the paper's core).
+
+Three pieces:
+
+* :mod:`repro.core.correctness` — the per-macroblock *probability of
+  correctness* matrix ``C^k`` and its update rules (the paper's
+  formulas (1), (2) and the approximation (3)).
+* :mod:`repro.core.pbpair` — the controller that turns the matrix into
+  encoding decisions: threshold mode selection against ``Intra_Th``
+  (Section 3.1.1) and the probability-aware motion-estimation cost
+  (Section 3.1.2).
+* :mod:`repro.core.adaptation` — the power-awareness extension of
+  Section 3.2: adapting ``Intra_Th`` to PLR changes, energy budgets and
+  quality targets.
+"""
+
+from repro.core.correctness import (
+    CorrectnessMatrix,
+    approximate_sigma,
+    min_sigma_related,
+    refresh_interval,
+    similarity_from_sad,
+)
+from repro.core.pbpair import PBPAIRConfig, PBPAIRController
+from repro.core.adaptation import (
+    intra_th_for_plr_change,
+    FeedbackIntraThController,
+    EnergyBudgetController,
+)
+from repro.core.instrumentation import (
+    InstrumentedPBPAIRStrategy,
+    SigmaSnapshot,
+    SigmaTrace,
+    sigma_heatmap,
+)
+
+__all__ = [
+    "CorrectnessMatrix",
+    "approximate_sigma",
+    "min_sigma_related",
+    "refresh_interval",
+    "similarity_from_sad",
+    "PBPAIRConfig",
+    "PBPAIRController",
+    "intra_th_for_plr_change",
+    "FeedbackIntraThController",
+    "EnergyBudgetController",
+    "InstrumentedPBPAIRStrategy",
+    "SigmaSnapshot",
+    "SigmaTrace",
+    "sigma_heatmap",
+]

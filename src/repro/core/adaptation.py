@@ -1,0 +1,155 @@
+"""Power-awareness extension (Section 3.2): adapting ``Intra_Th``.
+
+The paper observes that PBPAIR's operating point is a pair
+``(PLR, Intra_Th)`` and sketches three adaptation policies:
+
+* when the *network* changes, shift ``Intra_Th`` so the intra-macroblock
+  rate (and therefore bit rate and energy) stays put
+  (:func:`intra_th_for_plr_change`);
+* track a target intra rate from encoder feedback
+  (:class:`FeedbackIntraThController`);
+* maximize resilience within a residual-energy budget
+  (:class:`EnergyBudgetController`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.correctness import refresh_interval
+
+
+def intra_th_for_plr_change(
+    intra_th: float, old_plr: float, new_plr: float
+) -> float:
+    """Shift ``Intra_Th`` so the refresh rate survives a PLR change.
+
+    Under approximation (3) a macroblock is refreshed every
+    ``n = log(Intra_Th) / log(1 - PLR)`` frames.  Holding ``n`` constant
+    across a PLR change gives::
+
+        Th_new = Th_old ** (log(1 - PLR_new) / log(1 - PLR_old))
+
+    which realizes the paper's "adapting (decreasing) the Intra_Th by
+    the amount of the PLR increase can generate similar number of intra
+    macro blocks" — note the exponent exceeds 1 when PLR rises, so the
+    threshold indeed *decreases*.
+
+    Degenerate PLRs (0 or 1 on either side) have no finite refresh
+    interval to preserve; the threshold is returned unchanged.
+    """
+    if not 0.0 <= intra_th <= 1.0:
+        raise ValueError(f"Intra_Th must be in [0, 1], got {intra_th}")
+    for name, value in (("old_plr", old_plr), ("new_plr", new_plr)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    if intra_th in (0.0, 1.0):
+        return intra_th
+    if old_plr in (0.0, 1.0) or new_plr in (0.0, 1.0):
+        return intra_th
+    exponent = np.log(1.0 - new_plr) / np.log(1.0 - old_plr)
+    return float(np.clip(intra_th**exponent, 0.0, 1.0))
+
+
+@dataclass
+class FeedbackIntraThController:
+    """Proportional controller tracking a target intra-macroblock rate.
+
+    Each frame, feed the observed intra fraction; the controller nudges
+    ``Intra_Th`` toward the value that produces ``target_intra_fraction``
+    intra macroblocks per frame.  Raising the threshold raises the intra
+    rate (more macroblocks fall below it), so the correction has the
+    same sign as the tracking error.
+
+    Attributes:
+        intra_th: current threshold (mutated by :meth:`observe`).
+        target_intra_fraction: desired intra macroblocks per frame.
+        gain: proportional gain; conservative values (0.05-0.2) avoid
+            oscillation against the one-frame feedback delay.
+        min_th, max_th: clamp range keeping the operating point sane.
+    """
+
+    intra_th: float
+    target_intra_fraction: float
+    gain: float = 0.1
+    min_th: float = 0.0
+    max_th: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_intra_fraction <= 1.0:
+            raise ValueError("target_intra_fraction must be in [0, 1]")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0.0 <= self.min_th <= self.max_th <= 1.0:
+            raise ValueError("require 0 <= min_th <= max_th <= 1")
+
+    def observe(self, intra_fraction: float) -> float:
+        """Update with one frame's intra fraction; returns the new Th."""
+        if not 0.0 <= intra_fraction <= 1.0:
+            raise ValueError("intra_fraction must be in [0, 1]")
+        error = self.target_intra_fraction - intra_fraction
+        self.intra_th = float(
+            np.clip(self.intra_th + self.gain * error, self.min_th, self.max_th)
+        )
+        return self.intra_th
+
+
+@dataclass
+class EnergyBudgetController:
+    """Maximize error resilience within a per-frame energy budget.
+
+    The paper: "PBPAIR can be extended to adjust the Intra_Th parameter
+    to maximize error resilient level within current residual energy
+    constraint."  Intra refresh *saves* energy (skipped ME), so when
+    recent frames exceed the budget the controller raises ``Intra_Th``
+    (more refresh, less ME); when there is slack it lowers the threshold
+    to buy back compression efficiency.
+
+    Attributes:
+        intra_th: current threshold (mutated by :meth:`observe_energy`).
+        budget_joules_per_frame: the per-frame energy allowance.
+        step: threshold adjustment per observation.
+        deadband: relative tolerance around the budget within which the
+            threshold is left alone — without it the controller chatters
+            between adjacent thresholds every frame, and after a quiet
+            stretch it has walked far from any useful operating point.
+    """
+
+    intra_th: float
+    budget_joules_per_frame: float
+    step: float = 0.02
+    deadband: float = 0.1
+    min_th: float = 0.0
+    max_th: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.budget_joules_per_frame <= 0:
+            raise ValueError("energy budget must be positive")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+        if self.deadband < 0:
+            raise ValueError("deadband must be >= 0")
+        if not 0.0 <= self.min_th <= self.max_th <= 1.0:
+            raise ValueError("require 0 <= min_th <= max_th <= 1")
+
+    def observe_energy(self, joules_last_frame: float) -> float:
+        """Update with one frame's measured energy; returns the new Th."""
+        if joules_last_frame < 0:
+            raise ValueError("energy must be >= 0")
+        budget = self.budget_joules_per_frame
+        if joules_last_frame > budget * (1.0 + self.deadband):
+            delta = self.step
+        elif joules_last_frame < budget * (1.0 - self.deadband):
+            delta = -self.step
+        else:
+            return self.intra_th
+        self.intra_th = float(
+            np.clip(self.intra_th + delta, self.min_th, self.max_th)
+        )
+        return self.intra_th
+
+    def expected_refresh_interval(self, plr: float) -> float:
+        """Analytic refresh period at the current operating point."""
+        return refresh_interval(plr, self.intra_th)

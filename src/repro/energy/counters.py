@@ -1,0 +1,68 @@
+"""Operation counters threaded through the encoder.
+
+Each field counts one class of energy-relevant work.  The counters are
+deliberately *semantic* (blocks, bits) rather than cycle-level so the
+encoder stays readable; the device profile owns the per-operation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class OperationCounters:
+    """Mutable tally of encoder work.
+
+    Attributes:
+        sad_blocks: 16x16 SAD evaluations — ME candidates, ``SAD_self``
+            computations, and colocated-SAD content analysis all land
+            here.  ME dominates this count; skipping ME (PBPAIR's early
+            intra decision, GOP's I-frames, PGOP's refresh columns)
+            shrinks it.
+        dct_blocks / idct_blocks: 8x8 forward / inverse transforms.
+        quant_blocks / dequant_blocks: 8x8 quantization passes.
+        mc_blocks: 16x16 motion-compensated block fetches.
+        entropy_bits: bits produced by the VLC layer (prices both the
+            entropy coding work and, to first order, the bitstream
+            handling).
+        mode_decisions: per-macroblock control decisions.
+        probability_updates: per-macroblock correctness-matrix updates
+            (PBPAIR's bookkeeping overhead — charged so the comparison
+            against the baselines is honest).
+    """
+
+    sad_blocks: int = 0
+    dct_blocks: int = 0
+    idct_blocks: int = 0
+    quant_blocks: int = 0
+    dequant_blocks: int = 0
+    mc_blocks: int = 0
+    entropy_bits: int = 0
+    mode_decisions: int = 0
+    probability_updates: int = 0
+
+    def add(self, other: "OperationCounters") -> None:
+        """Accumulate another tally into this one, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "OperationCounters":
+        return OperationCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def diff(self, earlier: "OperationCounters") -> "OperationCounters":
+        """Work performed since an earlier snapshot."""
+        return OperationCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_operations(self) -> int:
+        return sum(self.as_dict().values())

@@ -1,0 +1,39 @@
+"""Quality and rate metrics used in the paper's evaluation.
+
+* :mod:`repro.metrics.psnr` — peak signal-to-noise ratio (Figure 5a/6a).
+* :mod:`repro.metrics.bad_pixels` — the paper's bad-pixel count, the
+  metric it argues represents error resiliency better than PSNR
+  (Figure 5b, Section 4.4).
+* :mod:`repro.metrics.bitrate` — encoded size and frame-size-variation
+  statistics (Figures 5c and 6b).
+"""
+
+from repro.metrics.psnr import psnr, mse, sequence_psnr, average_psnr
+from repro.metrics.bad_pixels import (
+    bad_pixel_count,
+    bad_pixel_map,
+    sequence_bad_pixels,
+    DEFAULT_BAD_PIXEL_THRESHOLD,
+)
+from repro.metrics.bitrate import (
+    FrameSizeStats,
+    frame_size_stats,
+    bitrate_kbps,
+)
+from repro.metrics.ssim import ssim, sequence_ssim
+
+__all__ = [
+    "psnr",
+    "mse",
+    "sequence_psnr",
+    "average_psnr",
+    "bad_pixel_count",
+    "bad_pixel_map",
+    "sequence_bad_pixels",
+    "DEFAULT_BAD_PIXEL_THRESHOLD",
+    "FrameSizeStats",
+    "frame_size_stats",
+    "bitrate_kbps",
+    "ssim",
+    "sequence_ssim",
+]

@@ -1,0 +1,63 @@
+"""Encoded-size statistics: file size, bitrate, and smoothness.
+
+Figure 5(c) compares total encoded file size; Figure 6(b) shows
+per-frame size variation, where GOP's I-frame spikes are the drawback
+the paper calls out ("GOP generates an uneven bitstream that is
+undesirable from a communication perspective").  The coefficient of
+variation and peak-to-mean ratio quantify that unevenness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrameSizeStats:
+    """Summary of a sequence's per-frame encoded sizes (bytes)."""
+
+    total_bytes: int
+    mean_bytes: float
+    std_bytes: float
+    max_bytes: int
+    min_bytes: int
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std/mean — 0 for a perfectly smooth bitstream."""
+        return self.std_bytes / self.mean_bytes if self.mean_bytes else 0.0
+
+    @property
+    def peak_to_mean(self) -> float:
+        """max/mean — how tall the I-frame spikes stand."""
+        return self.max_bytes / self.mean_bytes if self.mean_bytes else 0.0
+
+
+def frame_size_stats(sizes_bytes: Sequence[int]) -> FrameSizeStats:
+    """Compute :class:`FrameSizeStats` from per-frame sizes."""
+    if not sizes_bytes:
+        raise ValueError("need at least one frame size")
+    arr = np.asarray(sizes_bytes, dtype=np.float64)
+    if (arr < 0).any():
+        raise ValueError("frame sizes must be >= 0")
+    return FrameSizeStats(
+        total_bytes=int(arr.sum()),
+        mean_bytes=float(arr.mean()),
+        std_bytes=float(arr.std()),
+        max_bytes=int(arr.max()),
+        min_bytes=int(arr.min()),
+    )
+
+
+def bitrate_kbps(sizes_bytes: Sequence[int], fps: float = 30.0) -> float:
+    """Average bitstream rate in kilobits per second."""
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    if not sizes_bytes:
+        raise ValueError("need at least one frame size")
+    bits = 8.0 * float(np.sum(sizes_bytes))
+    seconds = len(sizes_bytes) / fps
+    return bits / seconds / 1000.0

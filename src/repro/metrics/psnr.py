@@ -1,0 +1,46 @@
+"""Peak signal-to-noise ratio."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two equally shaped frames."""
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    diff = original.astype(np.float64) - reconstructed.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray, peak: float = 255.0) -> float:
+    """PSNR in dB; ``inf`` for identical frames."""
+    error = mse(original, reconstructed)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / error))
+
+
+def sequence_psnr(
+    originals: Sequence[np.ndarray], reconstructions: Sequence[np.ndarray]
+) -> list[float]:
+    """Per-frame PSNR of a whole sequence."""
+    if len(originals) != len(reconstructions):
+        raise ValueError("sequences must have equal length")
+    return [psnr(o, r) for o, r in zip(originals, reconstructions)]
+
+
+def average_psnr(per_frame: Iterable[float], cap: float = 60.0) -> float:
+    """Average per-frame PSNR, capping ``inf`` frames at ``cap`` dB.
+
+    Lossless frames have infinite PSNR; capping (rather than dropping)
+    keeps averages finite and comparable, matching common practice.
+    """
+    values = [min(v, cap) for v in per_frame]
+    if not values:
+        raise ValueError("no PSNR values to average")
+    return float(np.mean(values))

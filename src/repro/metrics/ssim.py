@@ -1,0 +1,80 @@
+"""Structural similarity (SSIM) — the paper's future-work quality metric.
+
+The paper's conclusion: "We also seek a more effective and less
+computationally intensive video quality measure ...".  SSIM (Wang et
+al., 2004 — contemporary with the paper) is the standard answer: it
+compares local luminance, contrast and structure instead of raw pixel
+error, tracking perceived quality far better than PSNR on blocky or
+smeared loss damage.
+
+This is the classic windowed formulation with uniform (box) windows::
+
+    SSIM(x, y) = mean over windows of
+        ((2 mu_x mu_y + C1)(2 cov_xy + C2)) /
+        ((mu_x^2 + mu_y^2 + C1)(sigma_x^2 + sigma_y^2 + C2))
+
+with C1 = (0.01 * 255)^2, C2 = (0.03 * 255)^2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_C1 = (0.01 * 255.0) ** 2
+_C2 = (0.03 * 255.0) ** 2
+
+
+def _window_means(values: np.ndarray, window: int) -> np.ndarray:
+    """Mean of every ``window x window`` patch (valid positions only)."""
+    integral = np.zeros(
+        (values.shape[0] + 1, values.shape[1] + 1), dtype=np.float64
+    )
+    integral[1:, 1:] = np.cumsum(np.cumsum(values, axis=0), axis=1)
+    area = (
+        integral[window:, window:]
+        - integral[:-window, window:]
+        - integral[window:, :-window]
+        + integral[:-window, :-window]
+    )
+    return area / (window * window)
+
+
+def ssim(
+    original: np.ndarray, reconstructed: np.ndarray, window: int = 8
+) -> float:
+    """Mean SSIM between two equally shaped 8-bit frames, in [-1, 1]."""
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    if window < 2 or window > min(original.shape):
+        raise ValueError(f"window {window} invalid for shape {original.shape}")
+    x = original.astype(np.float64)
+    y = reconstructed.astype(np.float64)
+
+    mu_x = _window_means(x, window)
+    mu_y = _window_means(y, window)
+    mu_xx = _window_means(x * x, window)
+    mu_yy = _window_means(y * y, window)
+    mu_xy = _window_means(x * y, window)
+
+    var_x = mu_xx - mu_x * mu_x
+    var_y = mu_yy - mu_y * mu_y
+    cov = mu_xy - mu_x * mu_y
+
+    numerator = (2 * mu_x * mu_y + _C1) * (2 * cov + _C2)
+    denominator = (mu_x**2 + mu_y**2 + _C1) * (var_x + var_y + _C2)
+    return float(np.mean(numerator / denominator))
+
+
+def sequence_ssim(
+    originals: Sequence[np.ndarray],
+    reconstructions: Sequence[np.ndarray],
+    window: int = 8,
+) -> list[float]:
+    """Per-frame SSIM of a whole sequence."""
+    if len(originals) != len(reconstructions):
+        raise ValueError("sequences must have equal length")
+    return [ssim(o, r, window) for o, r in zip(originals, reconstructions)]

@@ -1,0 +1,45 @@
+"""Network substrate: RTP-like packetization and lossy channels.
+
+Implements the transmission path of the paper's Figure 1: encoded
+frames are packetized (one packet per frame up to the MTU, fragmented at
+macroblock boundaries beyond it — the paper's RTP setup), pushed through
+a loss model, and depacketized into per-frame fragment sets for the
+decoder.
+
+Loss models: :class:`UniformLoss` (the paper's "uniform distribution of
+frame discard"), :class:`ScriptedLoss` (the deterministic e1..e7 events
+of Figure 6), and :class:`GilbertElliottLoss` (bursty wireless loss, an
+extension).
+"""
+
+from repro.network.packet import Packet, Packetizer, Depacketizer, DEFAULT_MTU
+from repro.network.loss import (
+    LossModel,
+    NoLoss,
+    UniformLoss,
+    ScriptedLoss,
+    TraceLoss,
+    GilbertElliottLoss,
+)
+from repro.network.channel import Channel, ChannelLog
+from repro.network.biterror import BitErrorChannel, PROTECTED_HEADER_BYTES
+from repro.network.link import BandwidthDeadlineLoss, LinkLog
+
+__all__ = [
+    "Packet",
+    "Packetizer",
+    "Depacketizer",
+    "DEFAULT_MTU",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "ScriptedLoss",
+    "TraceLoss",
+    "GilbertElliottLoss",
+    "Channel",
+    "ChannelLog",
+    "BitErrorChannel",
+    "PROTECTED_HEADER_BYTES",
+    "BandwidthDeadlineLoss",
+    "LinkLog",
+]

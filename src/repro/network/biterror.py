@@ -1,0 +1,101 @@
+"""Bit-error channels: corruption, not just loss.
+
+The paper's introduction motivates intra refresh with *both* failure
+modes of wireless links: packets that vanish, and bits that flip —
+"because of VLC, a single bit error causes the decoder to lose a
+synchronization point that makes the following bits useless."  The
+packet-loss models in :mod:`repro.network.loss` cover the first; this
+module covers the second: a channel that delivers packets but flips
+payload bits with a given bit-error rate (BER).
+
+The decoder's salvage behaviour (decode up to the first syntax error,
+conceal the rest of the fragment) is exactly what this channel
+exercises; fragment headers are protected separately because real
+systems send headers with stronger coding (and an undetected corrupt
+header would mis-place macroblocks rather than lose them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.packet import Packet
+
+#: Leading payload bytes treated as the protected fragment header.  The
+#: fixed part of the header is 30 bits; 5 bytes also covers the two
+#: Exp-Golomb fields for any realistic macroblock count.
+PROTECTED_HEADER_BYTES = 5
+
+
+class BitErrorChannel:
+    """Flips payload bits i.i.d. with probability ``ber``.
+
+    This is not a :class:`repro.network.loss.LossModel` — those decide a
+    packet's fate; this transforms packet *contents*.  Compose them via
+    :func:`transmit`-style call chains or
+    :class:`repro.sim.pipeline.simulate`'s loss model plus manual
+    corruption, e.g.::
+
+        delivered = channel.transmit(packets)
+        corrupted = bit_error_channel.corrupt(delivered)
+    """
+
+    def __init__(
+        self,
+        ber: float,
+        seed: int = 0,
+        protect_header: bool = True,
+        protect_first_frame: bool = True,
+    ) -> None:
+        """Args:
+        ber: bit-error rate in [0, 1].
+        seed: RNG seed.
+        protect_header: never flip the first
+            :data:`PROTECTED_HEADER_BYTES` of a payload.
+        protect_first_frame: leave frame 0 pristine (the error-free
+            starting point every scheme assumes).
+        """
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError(f"BER must be in [0, 1], got {ber}")
+        self.ber = ber
+        self.seed = seed
+        self.protect_header = protect_header
+        self.protect_first_frame = protect_first_frame
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def corrupt_payload(self, payload: bytes, protected_prefix: int) -> bytes:
+        """Flip bits of one payload beyond the protected prefix."""
+        if self.ber == 0.0 or len(payload) <= protected_prefix:
+            return payload
+        data = np.frombuffer(payload, dtype=np.uint8).copy()
+        bits = np.unpackbits(data[protected_prefix:])
+        flips = self._rng.random(bits.size) < self.ber
+        bits ^= flips.astype(np.uint8)
+        data[protected_prefix:] = np.packbits(bits)
+        return data.tobytes()
+
+    def corrupt(self, packets: list[Packet]) -> list[Packet]:
+        """Return the packets with payload bits flipped at the BER."""
+        out = []
+        for packet in packets:
+            if self.protect_first_frame and packet.frame_index == 0:
+                out.append(packet)
+                continue
+            prefix = PROTECTED_HEADER_BYTES if self.protect_header else 0
+            payload = self.corrupt_payload(packet.payload, prefix)
+            if payload is packet.payload:
+                out.append(packet)
+            else:
+                out.append(
+                    Packet(
+                        sequence_number=packet.sequence_number,
+                        frame_index=packet.frame_index,
+                        fragment_index=packet.fragment_index,
+                        fragments_in_frame=packet.fragments_in_frame,
+                        payload=payload,
+                    )
+                )
+        return out

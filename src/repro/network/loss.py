@@ -1,0 +1,200 @@
+"""Packet loss models.
+
+The paper generates its loss pattern from "a uniform distribution of
+frame discard" and, in Figure 6, studies specific loss events e1..e7.
+:class:`UniformLoss` and :class:`ScriptedLoss` implement exactly those;
+:class:`GilbertElliottLoss` adds the classic two-state burst model for
+wireless channels (an extension the paper's future work gestures at).
+
+:class:`UniformLoss` defaults to frame granularity (the paper's
+simplification "we use the frame loss rate to denote the network packet
+loss rate"): all fragments of a dropped frame vanish together.  Packet
+granularity is available for channel studies, and
+:class:`GilbertElliottLoss` is inherently per-packet.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.network.packet import Packet
+
+
+class LossModel(abc.ABC):
+    """Decides the fate of each packet."""
+
+    @abc.abstractmethod
+    def survives(self, packet: Packet) -> bool:
+        """True when the packet is delivered."""
+
+    def reset(self) -> None:
+        """Restart the model's random/state sequence."""
+
+
+class NoLoss(LossModel):
+    """The ideal channel."""
+
+    def survives(self, packet: Packet) -> bool:
+        return True
+
+
+class UniformLoss(LossModel):
+    """I.i.d. drop with probability ``plr`` — the paper's model.
+
+    The paper "use[s] a uniform distribution of frame discard" and
+    equates frame loss rate with packet loss rate, so the default
+    granularity is ``"frame"``: a dropped frame loses *all* its
+    packets, and the loss probability is independent of how many
+    packets a frame spans (schemes with larger frames are not
+    penalized twice).  ``granularity="packet"`` gives the classic
+    per-packet i.i.d. channel instead.
+    """
+
+    def __init__(
+        self,
+        plr: float,
+        seed: int = 0,
+        protect_first_frame: bool = True,
+        granularity: str = "frame",
+    ):
+        """Args:
+        plr: loss rate in [0, 1].
+        seed: RNG seed; runs are reproducible.
+        protect_first_frame: never drop frame 0 (the paper starts
+            "from an error free image frame"; losing the very first
+            intra frame would leave the decoder with no content at
+            all, which no scheme can recover from).
+        granularity: ``"frame"`` (paper) or ``"packet"``.
+        """
+        if not 0.0 <= plr <= 1.0:
+            raise ValueError(f"PLR must be in [0, 1], got {plr}")
+        if granularity not in ("frame", "packet"):
+            raise ValueError(
+                f"granularity must be 'frame' or 'packet', got {granularity!r}"
+            )
+        self.plr = plr
+        self.seed = seed
+        self.protect_first_frame = protect_first_frame
+        self.granularity = granularity
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _frame_survives(self, frame_index: int) -> bool:
+        # Deterministic per frame and independent of packet order: all
+        # fragments of a frame share one fate.
+        draw = np.random.default_rng((self.seed, frame_index)).random()
+        return bool(draw >= self.plr)
+
+    def survives(self, packet: Packet) -> bool:
+        if self.protect_first_frame and packet.frame_index == 0:
+            return True
+        if self.granularity == "frame":
+            return self._frame_survives(packet.frame_index)
+        return bool(self._rng.random() >= self.plr)
+
+
+class ScriptedLoss(LossModel):
+    """Deterministic loss of specific frames (Figure 6's e1..e7 events).
+
+    Every packet belonging to a listed frame index is dropped.
+    """
+
+    def __init__(self, lost_frames: Iterable[int]) -> None:
+        self.lost_frames = frozenset(int(f) for f in lost_frames)
+        if any(f < 0 for f in self.lost_frames):
+            raise ValueError("frame indices must be >= 0")
+
+    def survives(self, packet: Packet) -> bool:
+        return packet.frame_index not in self.lost_frames
+
+
+class TraceLoss(LossModel):
+    """Loss pattern replayed from an explicit per-frame trace.
+
+    ``trace[i]`` is True when frame ``i`` is delivered.  Frames beyond
+    the trace use ``default_survives``.  Useful for replaying captured
+    network traces or for exact A/B comparisons between schemes.
+    """
+
+    def __init__(self, trace, default_survives: bool = True) -> None:
+        self.trace = tuple(bool(v) for v in trace)
+        self.default_survives = default_survives
+
+    @classmethod
+    def from_loss_rate_pattern(cls, pattern: str) -> "TraceLoss":
+        """Parse a compact string trace: '.' = delivered, 'x' = lost."""
+        allowed = set(".x")
+        if not pattern or set(pattern) - allowed:
+            raise ValueError("pattern must be a non-empty string of '.' and 'x'")
+        return cls(ch == "." for ch in pattern)
+
+    def survives(self, packet: Packet) -> bool:
+        if packet.frame_index < len(self.trace):
+            return self.trace[packet.frame_index]
+        return self.default_survives
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (good/bad) burst-loss model.
+
+    In the good state packets drop with ``good_loss`` probability, in
+    the bad state with ``bad_loss``; transitions happen per packet with
+    ``p_good_to_bad`` / ``p_bad_to_good``.  The steady-state loss rate is
+    ``pi_bad * bad_loss + pi_good * good_loss`` with
+    ``pi_bad = p_gb / (p_gb + p_bg)``.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        good_loss: float = 0.0,
+        bad_loss: float = 1.0,
+        seed: int = 0,
+        protect_first_frame: bool = True,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self.seed = seed
+        self.protect_first_frame = protect_first_frame
+        self._rng = np.random.default_rng(seed)
+        self._in_bad_state = False
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._in_bad_state = False
+
+    @property
+    def steady_state_loss_rate(self) -> float:
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0:
+            return self.good_loss
+        pi_bad = self.p_good_to_bad / total
+        return pi_bad * self.bad_loss + (1 - pi_bad) * self.good_loss
+
+    def survives(self, packet: Packet) -> bool:
+        if self._in_bad_state:
+            if self._rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = self.bad_loss if self._in_bad_state else self.good_loss
+        if self.protect_first_frame and packet.frame_index == 0:
+            return True
+        return bool(self._rng.random() >= loss)

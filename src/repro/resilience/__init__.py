@@ -1,0 +1,45 @@
+"""Error-resilience strategies.
+
+This package implements the paper's four baselines and adapts PBPAIR
+(whose probabilistic machinery lives in :mod:`repro.core`) to the same
+interface:
+
+* ``NoResilience`` — plain predictive coding ("NO" in the figures).
+* ``GOPStrategy`` — periodic I-frames (GOP-N = one I per N P-frames).
+* ``AIRStrategy`` — adaptive intra refresh: after motion estimation,
+  force the N macroblocks with the highest SAD to intra mode.
+* ``PGOPStrategy`` — progressive GOP: refresh N macroblock columns per
+  frame, sweeping left to right, with stride-back refreshes that trap
+  error propagation across the refreshed region.
+* ``PBPAIRStrategy`` — the paper's contribution.
+
+All strategies plug into :class:`repro.codec.encoder.Encoder` through the
+hook protocol in :mod:`repro.resilience.base`.
+"""
+
+from repro.resilience.base import (
+    ResilienceStrategy,
+    PreMEContext,
+    PostMEContext,
+    FrameFeedback,
+)
+from repro.resilience.none import NoResilience
+from repro.resilience.gop import GOPStrategy
+from repro.resilience.air import AIRStrategy
+from repro.resilience.pgop import PGOPStrategy
+from repro.resilience.pbpair_strategy import PBPAIRStrategy
+from repro.resilience.registry import build_strategy, STRATEGY_BUILDERS
+
+__all__ = [
+    "ResilienceStrategy",
+    "PreMEContext",
+    "PostMEContext",
+    "FrameFeedback",
+    "NoResilience",
+    "GOPStrategy",
+    "AIRStrategy",
+    "PGOPStrategy",
+    "PBPAIRStrategy",
+    "build_strategy",
+    "STRATEGY_BUILDERS",
+]

@@ -1,0 +1,76 @@
+"""AIR-N: adaptive intra refresh.
+
+"AIR inserts a pre-defined number of intra-coded MBs with the highest
+sum of absolute differences (SAD) ... from the ME output."  The scheme
+is content-aware — it refreshes where the scene is most active — but it
+decides *after* motion estimation, so (as the paper stresses) it saves
+no ME energy: "AIR consumes a similar amount of the encoding energy
+[to] without any error resilient scheme since AIR decides the encoding
+mode after motion estimation."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.base import PostMEContext, ResilienceStrategy
+
+
+class AIRStrategy(ResilienceStrategy):
+    """Force N macroblocks of each P-frame to intra, after ME.
+
+    Two selection policies:
+
+    * ``"sad"`` (default, the paper's description): the N macroblocks
+      with the highest motion-compensated SAD — content-aware, but it
+      can starve quiet regions forever (a macroblock that never ranks
+      in the top N is never refreshed).
+    * ``"cyclic"`` (the MPEG-4 refresh-map variant the paper cites as
+      [5]): a round-robin pointer sweeps the macroblock indices, so
+      every macroblock is guaranteed a refresh every
+      ``ceil(mb_count / N)`` frames regardless of content.
+    """
+
+    post_label = "air"
+
+    def __init__(self, refresh_mbs: int, selection: str = "sad") -> None:
+        if refresh_mbs < 1:
+            raise ValueError(f"AIR needs >= 1 refresh MB, got {refresh_mbs}")
+        if selection not in ("sad", "cyclic"):
+            raise ValueError(
+                f"selection must be 'sad' or 'cyclic', got {selection!r}"
+            )
+        self.refresh_mbs = refresh_mbs
+        self.selection = selection
+        suffix = "" if selection == "sad" else "-cyclic"
+        self.name = f"AIR-{refresh_mbs}{suffix}"
+        self._next_mb = 0
+
+    def reset(self) -> None:
+        self._next_mb = 0
+
+    def post_me_intra(self, context: PostMEContext) -> np.ndarray:
+        mask = np.zeros((context.mb_rows, context.mb_cols), dtype=bool)
+        candidates = ~context.intra_mask  # only not-already-intra MBs
+        n_candidates = int(candidates.sum())
+        take = min(self.refresh_mbs, n_candidates)
+        if take == 0:
+            return mask
+        if self.selection == "sad":
+            sads = np.where(candidates, context.motion.sads, -1)
+            flat = sads.reshape(-1)
+            top = np.argpartition(flat, -take)[-take:]
+            mask.reshape(-1)[top] = True
+            return mask & candidates
+        # Cyclic: advance the refresh pointer over all macroblocks; the
+        # pointer moves by refresh_mbs per frame whether or not some of
+        # its slots were already intra (matching the MPEG-4 map, which
+        # marks map entries refreshed either way).
+        mb_count = context.mb_rows * context.mb_cols
+        indices = [
+            (self._next_mb + offset) % mb_count
+            for offset in range(self.refresh_mbs)
+        ]
+        mask.reshape(-1)[indices] = True
+        self._next_mb = (self._next_mb + self.refresh_mbs) % mb_count
+        return mask & candidates

@@ -1,0 +1,28 @@
+"""GOP-N: periodic I-frames.
+
+"GOP-N represents I:P ratio I:N where N is the number of P-frames per a
+single I-frame" — i.e. an I-frame every ``N + 1`` frames.  The I-frame
+refreshes all error propagation at once, at the cost of a large
+periodic bit-rate spike (Fig. 6b) and catastrophic sensitivity to the
+loss of the I-frame itself (event e7 in Fig. 6a).
+"""
+
+from __future__ import annotations
+
+from repro.codec.types import FrameType
+from repro.resilience.base import ResilienceStrategy
+
+
+class GOPStrategy(ResilienceStrategy):
+    """Insert an I-frame every ``p_frames + 1`` frames."""
+
+    def __init__(self, p_frames: int) -> None:
+        if p_frames < 1:
+            raise ValueError(f"GOP needs >= 1 P-frame per group, got {p_frames}")
+        self.p_frames = p_frames
+        self.name = f"GOP-{p_frames}"
+
+    def begin_frame(self, frame_index: int) -> FrameType:
+        if frame_index % (self.p_frames + 1) == 0:
+            return FrameType.I
+        return FrameType.P

@@ -1,0 +1,16 @@
+"""The "NO" baseline: plain predictive coding, no resilience features.
+
+Frame 0 is intra (there is nothing to predict from); every other frame
+is P with purely SAD-driven decisions.  This is the energy/efficiency
+reference point of Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.base import ResilienceStrategy
+
+
+class NoResilience(ResilienceStrategy):
+    """Encode with no error-resilience scheme at all."""
+
+    name = "NO"

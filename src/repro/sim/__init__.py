@@ -1,0 +1,44 @@
+"""End-to-end simulation: source -> encoder -> channel -> decoder -> metrics.
+
+:func:`repro.sim.pipeline.simulate` wires the whole Figure-1 system
+together and returns a :class:`repro.sim.pipeline.SimulationResult` with
+everything the paper's figures plot; :mod:`repro.sim.experiment` runs
+parameter sweeps over schemes/sequences/channels; :mod:`repro.sim.report`
+prints figure-shaped tables.
+"""
+
+from repro.sim.pipeline import (
+    SimulationConfig,
+    SimulationResult,
+    FrameRecord,
+    simulate,
+    encode_only,
+)
+from repro.sim.experiment import (
+    ExperimentSpec,
+    ExperimentResult,
+    ReplicationSummary,
+    run_experiment,
+    sweep,
+    replicate,
+    match_intra_th_to_size,
+)
+from repro.sim.report import format_table, format_series, format_csv
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "FrameRecord",
+    "simulate",
+    "encode_only",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep",
+    "match_intra_th_to_size",
+    "ReplicationSummary",
+    "replicate",
+    "format_table",
+    "format_series",
+    "format_csv",
+]

@@ -1,0 +1,223 @@
+"""Experiment harness: sweeps, scheme comparisons, operating-point matching.
+
+The paper's comparisons are run at *matched compression ratio*: "We
+choose Intra_Th that gives similar compression ratio with PGOP-3, GOP-3,
+and AIR-24" (Figure 5) and schemes "that generate a similar size of
+encoded bitstream" (Figure 6).  :func:`match_intra_th_to_size` finds
+that ``Intra_Th`` by bisection — the intra-macroblock count, and with it
+the encoded size, grows monotonically with the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.pbpair import PBPAIRConfig
+from repro.network.loss import LossModel
+from repro.resilience.base import ResilienceStrategy
+from repro.resilience.pbpair_strategy import PBPAIRStrategy
+from repro.resilience.registry import build_strategy
+from repro.sim.pipeline import (
+    SimulationConfig,
+    SimulationResult,
+    encode_only,
+    simulate,
+)
+from repro.video.frame import VideoSequence
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of a comparison grid.
+
+    ``strategy_factory`` builds a *fresh* strategy per run (strategies
+    are stateful); ``loss_factory`` likewise for the channel.
+    """
+
+    label: str
+    strategy_factory: Callable[[], ResilienceStrategy]
+    loss_factory: Optional[Callable[[], LossModel]] = None
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A labelled simulation outcome."""
+
+    label: str
+    result: SimulationResult
+
+
+def run_experiment(
+    sequence: VideoSequence,
+    spec: ExperimentSpec,
+    config: Optional[SimulationConfig] = None,
+) -> ExperimentResult:
+    """Run one spec against one sequence."""
+    loss_model = spec.loss_factory() if spec.loss_factory else None
+    result = simulate(
+        sequence,
+        spec.strategy_factory(),
+        loss_model=loss_model,
+        config=config,
+    )
+    return ExperimentResult(label=spec.label, result=result)
+
+
+def sweep(
+    sequence: VideoSequence,
+    specs: Iterable[ExperimentSpec],
+    config: Optional[SimulationConfig] = None,
+) -> list[ExperimentResult]:
+    """Run a list of specs against one sequence, in order."""
+    return [run_experiment(sequence, spec, config) for spec in specs]
+
+
+def total_encoded_bytes(
+    sequence: VideoSequence,
+    strategy: ResilienceStrategy,
+    config: Optional[SimulationConfig] = None,
+) -> int:
+    """Encoded size of the sequence under a scheme (no channel)."""
+    encoded, _ = encode_only(sequence, strategy, config)
+    return sum(frame.size_bytes for frame in encoded)
+
+
+def match_intra_th_to_size(
+    sequence: VideoSequence,
+    target_bytes: int,
+    plr: float,
+    config: Optional[SimulationConfig] = None,
+    pbpair_kwargs: Optional[dict] = None,
+    tolerance: float = 0.03,
+    max_iterations: int = 8,
+) -> float:
+    """Find the ``Intra_Th`` whose encoded size matches ``target_bytes``.
+
+    Bisection over [0, 1]; the encoded size grows with the threshold
+    (more macroblocks fall below it and are intra-coded).  Stops when
+    within ``tolerance`` (relative) of the target or after
+    ``max_iterations`` encodes, returning the best threshold seen.
+
+    The paper does the same calibration to compare schemes at equal
+    compression ratio.  Calibrate on the clip you will measure: a
+    prefix is cheaper but transfers poorly when the content is
+    non-stationary (FOREMAN's camera pan starts in the final third).
+    """
+    if target_bytes <= 0:
+        raise ValueError("target_bytes must be positive")
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must be in (0, 1)")
+    kwargs = dict(pbpair_kwargs or {})
+    lo, hi = 0.0, 1.0
+    best_th, best_error = 0.5, float("inf")
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=mid, plr=plr, **kwargs))
+        size = total_encoded_bytes(sequence, strategy, config)
+        error = abs(size - target_bytes) / target_bytes
+        if error < best_error:
+            best_th, best_error = mid, error
+        if error <= tolerance:
+            break
+        if size < target_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return best_th
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean/stddev of a metric over several independent channel seeds."""
+
+    label: str
+    seeds: tuple[int, ...]
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / len(self.values)
+        )
+
+
+def replicate(
+    sequence: VideoSequence,
+    strategy_factory: Callable[[], ResilienceStrategy],
+    loss_factory: Callable[[int], LossModel],
+    metric: Callable[[SimulationResult], float],
+    seeds: Sequence[int],
+    label: str = "run",
+    config: Optional[SimulationConfig] = None,
+) -> ReplicationSummary:
+    """Run the same experiment over several channel seeds.
+
+    Single-seed results can flatter or punish a scheme by luck of which
+    frames the channel drops; reporting mean and spread over seeds is
+    how the comparison benches should be read.  ``loss_factory`` maps a
+    seed to a fresh loss model; ``strategy_factory`` builds a fresh
+    (stateful) strategy per run.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = []
+    for seed in seeds:
+        result = simulate(
+            sequence,
+            strategy_factory(),
+            loss_model=loss_factory(seed),
+            config=config,
+        )
+        values.append(float(metric(result)))
+    return ReplicationSummary(
+        label=label, seeds=tuple(int(s) for s in seeds), values=tuple(values)
+    )
+
+
+def comparison_specs(
+    scheme_specs: Sequence[str],
+    loss_factory: Optional[Callable[[], LossModel]] = None,
+    pbpair_kwargs: Optional[dict] = None,
+) -> list[ExperimentSpec]:
+    """Build the paper's figure legends ("NO", "PBPAIR", "PGOP-3", ...).
+
+    ``pbpair_kwargs`` configures the PBPAIR entries (``intra_th``,
+    ``plr``, ...); the baselines take their parameter from the spec
+    string itself.
+    """
+    kwargs = dict(pbpair_kwargs or {})
+    specs = []
+    for spec_string in scheme_specs:
+        if spec_string.upper().startswith("PBPAIR"):
+            factory = _pbpair_factory(kwargs)
+        else:
+            factory = _baseline_factory(spec_string)
+        specs.append(
+            ExperimentSpec(
+                label=spec_string,
+                strategy_factory=factory,
+                loss_factory=loss_factory,
+            )
+        )
+    return specs
+
+
+def _pbpair_factory(kwargs: dict) -> Callable[[], ResilienceStrategy]:
+    def factory() -> ResilienceStrategy:
+        return build_strategy("PBPAIR", **kwargs)
+
+    return factory
+
+
+def _baseline_factory(spec_string: str) -> Callable[[], ResilienceStrategy]:
+    def factory() -> ResilienceStrategy:
+        return build_strategy(spec_string)
+
+    return factory

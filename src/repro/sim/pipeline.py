@@ -1,0 +1,285 @@
+"""The end-to-end video communication pipeline of the paper's Figure 1.
+
+``simulate`` runs: video source -> encoder (with a resilience strategy)
+-> packetizer -> lossy channel -> depacketizer -> decoder -> concealment
+-> quality metrics, collecting per-frame records and whole-run
+aggregates (energy, file size, PSNR, bad pixels) — everything the
+paper's evaluation section plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.codec.decoder import Decoder
+from repro.codec.encoder import Encoder
+from repro.codec.rate import RateController
+from repro.codec.types import CodecConfig, EncodedFrame, FrameType
+from repro.concealment.base import ConcealmentStrategy
+from repro.concealment.copy import CopyConcealment
+from repro.energy.counters import OperationCounters
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.profiles import DeviceProfile, IPAQ_H5555
+from repro.metrics.bad_pixels import (
+    DEFAULT_BAD_PIXEL_THRESHOLD,
+    bad_pixel_count,
+)
+from repro.metrics.bitrate import FrameSizeStats, frame_size_stats
+from repro.metrics.psnr import average_psnr, psnr
+from repro.network.biterror import BitErrorChannel
+from repro.network.channel import Channel, ChannelLog
+from repro.network.loss import LossModel, NoLoss
+from repro.network.packet import DEFAULT_MTU, Depacketizer, Packetizer
+from repro.resilience.base import ResilienceStrategy
+from repro.video.frame import VideoSequence
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one simulation run needs besides source and scheme.
+
+    Attributes:
+        codec: codec parameters.
+        mtu: packet size limit (paper: one packet per frame up to MTU).
+        device: energy cost profile for the encoder-energy report.
+        bad_pixel_threshold: grey-level threshold of the bad-pixel
+            metric.
+    """
+
+    codec: CodecConfig = field(default_factory=CodecConfig)
+    mtu: int = DEFAULT_MTU
+    device: DeviceProfile = IPAQ_H5555
+    bad_pixel_threshold: int = DEFAULT_BAD_PIXEL_THRESHOLD
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Per-frame observables (one row of Figure 6's series)."""
+
+    frame_index: int
+    frame_type: FrameType
+    size_bytes: int
+    intra_mbs: int
+    me_skipped_mbs: int
+    packets_sent: int
+    packets_lost: int
+    psnr_encoder: float  # loss-free, encoder-side reconstruction
+    psnr_decoder: float  # after the lossy channel and concealment
+    bad_pixels: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one end-to-end run."""
+
+    sequence_name: str
+    strategy_name: str
+    frames: tuple[FrameRecord, ...]
+    counters: OperationCounters
+    energy: EnergyBreakdown
+    channel_log: ChannelLog
+    size_stats: FrameSizeStats
+    decoder_counters: Optional[OperationCounters] = None
+    decoder_energy: Optional[EnergyBreakdown] = None
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.size_stats.total_bytes
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total_joules
+
+    @property
+    def decoder_energy_joules(self) -> float:
+        """Receive-side decode energy (0 when not tracked)."""
+        return self.decoder_energy.total_joules if self.decoder_energy else 0.0
+
+    @property
+    def average_psnr_decoder(self) -> float:
+        return average_psnr(f.psnr_decoder for f in self.frames)
+
+    @property
+    def average_psnr_encoder(self) -> float:
+        return average_psnr(f.psnr_encoder for f in self.frames)
+
+    @property
+    def total_bad_pixels(self) -> int:
+        return sum(f.bad_pixels for f in self.frames)
+
+    @property
+    def intra_mb_total(self) -> int:
+        return sum(f.intra_mbs for f in self.frames)
+
+    @property
+    def intra_fraction(self) -> float:
+        mb_per_frame = None
+        total = 0
+        for f in self.frames:
+            total += f.intra_mbs
+        mb_per_frame = self.counters.mode_decisions
+        return total / mb_per_frame if mb_per_frame else 0.0
+
+    def psnr_series(self) -> list[float]:
+        """Per-frame decoder PSNR (Figure 6a's y-values)."""
+        return [f.psnr_decoder for f in self.frames]
+
+    def size_series(self) -> list[int]:
+        """Per-frame encoded size in bytes (Figure 6b's y-values)."""
+        return [f.size_bytes for f in self.frames]
+
+    def recovery_times(self, dip_db: float = 2.0) -> list[int]:
+        """Frames needed to recover after each loss-affected frame.
+
+        For every frame that lost at least one packet, count the frames
+        until decoder PSNR climbs back to within ``dip_db`` of the
+        encoder-side (loss-free) PSNR.  The paper's "faster error
+        recovery" claim (Section 4.2) is this quantity, smaller = better.
+
+        The scan for each event is censored at the next loss event (or
+        the end of the run): without censoring, closely spaced events
+        would each be charged for the whole pile-up and the metric would
+        no longer describe a single event's recovery.
+        """
+        events = [r.frame_index for r in self.frames if r.packets_lost > 0]
+        times = []
+        for position, start in enumerate(events):
+            horizon = (
+                events[position + 1]
+                if position + 1 < len(events)
+                else self.frames[-1].frame_index + 1
+            )
+            recovered = horizon
+            for later in self.frames[start:horizon]:
+                if later.psnr_decoder >= later.psnr_encoder - dip_db:
+                    recovered = later.frame_index
+                    break
+            times.append(recovered - start)
+        return times
+
+
+def encode_only(
+    sequence: VideoSequence,
+    strategy: ResilienceStrategy,
+    config: Optional[SimulationConfig] = None,
+) -> tuple[list[EncodedFrame], OperationCounters]:
+    """Run just the encoder (for size/energy studies without a channel)."""
+    config = config or SimulationConfig()
+    encoder = Encoder(config.codec, strategy)
+    encoded = encoder.encode_sequence(sequence)
+    return encoded, encoder.counters
+
+
+def simulate(
+    sequence: VideoSequence,
+    strategy: ResilienceStrategy,
+    loss_model: Optional[LossModel] = None,
+    config: Optional[SimulationConfig] = None,
+    concealment: Optional[ConcealmentStrategy] = None,
+    rate_controller: Optional[RateController] = None,
+    bit_errors: Optional[BitErrorChannel] = None,
+) -> SimulationResult:
+    """Run the full Figure-1 pipeline and collect every metric.
+
+    Args:
+        sequence: source video.
+        strategy: error-resilience scheme for the encoder.
+        loss_model: channel behaviour; defaults to a lossless channel.
+        config: codec/network/energy parameters.
+        concealment: decoder-side repair; defaults to the paper's copy
+            scheme.
+        rate_controller: optional frame-level quantizer control; when
+            given, each frame is encoded at the controller's QP and its
+            size fed back (the paper's "independent control mechanism").
+        bit_errors: optional bit-flipping corruption applied to
+            delivered packets (VLC desynchronization stress).
+    """
+    config = config or SimulationConfig()
+    loss_model = loss_model if loss_model is not None else NoLoss()
+    concealment = concealment if concealment is not None else CopyConcealment()
+
+    codec = config.codec
+    if sequence.width != codec.width or sequence.height != codec.height:
+        raise ValueError(
+            f"sequence {sequence.width}x{sequence.height} does not match "
+            f"codec {codec.width}x{codec.height}"
+        )
+
+    encoder = Encoder(codec, strategy)
+    decoder = Decoder(codec)
+    packetizer = Packetizer(codec, mtu=config.mtu)
+    depacketizer = Depacketizer()
+    channel = Channel(loss_model)
+    energy_model = EnergyModel(config.device)
+
+    records: list[FrameRecord] = []
+    decoder_reference: Optional[np.ndarray] = None
+    decoder_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    for frame in sequence:
+        if rate_controller is not None:
+            encoder.quantizer = rate_controller.quantizer
+        encoded = encoder.encode_frame(frame)
+        if rate_controller is not None:
+            rate_controller.observe(encoded.stats.bits)
+        packets = packetizer.packetize(encoded)
+        delivered = channel.transmit(packets)
+        if bit_errors is not None:
+            delivered = bit_errors.corrupt(delivered)
+        fragments = depacketizer.group_by_frame(
+            delivered, frame.index + 1
+        )[frame.index]
+
+        result = decoder.decode_frame(
+            fragments,
+            decoder_reference,
+            expected_index=frame.index,
+            reference_chroma=decoder_chroma,
+        )
+        repaired = concealment.conceal(
+            result.frame,
+            result.received,
+            decoder_reference,
+            mvs_pixels=result.mvs_pixels,
+            modes=result.modes,
+        )
+        decoder_reference = repaired
+        # Lost chroma macroblocks already hold the reference copy (the
+        # paper's copy concealment); spatial repair is luma-only.
+        decoder_chroma = result.chroma
+
+        records.append(
+            FrameRecord(
+                frame_index=frame.index,
+                frame_type=encoded.frame_type,
+                size_bytes=encoded.size_bytes,
+                intra_mbs=encoded.stats.intra_mbs,
+                me_skipped_mbs=encoded.stats.me_skipped_mbs,
+                packets_sent=len(packets),
+                packets_lost=len(packets) - len(delivered),
+                psnr_encoder=encoded.stats.psnr_reconstructed,
+                psnr_decoder=psnr(frame.pixels, repaired),
+                bad_pixels=bad_pixel_count(
+                    frame.pixels, repaired, config.bad_pixel_threshold
+                ),
+            )
+        )
+
+    return SimulationResult(
+        sequence_name=sequence.name,
+        strategy_name=strategy.name,
+        frames=tuple(records),
+        counters=encoder.counters,
+        energy=energy_model.breakdown(encoder.counters),
+        channel_log=channel.log,
+        size_stats=frame_size_stats([r.size_bytes for r in records]),
+        decoder_counters=decoder.counters,
+        decoder_energy=energy_model.breakdown(decoder.counters),
+    )

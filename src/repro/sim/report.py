@@ -1,0 +1,75 @@
+"""Plain-text reporting of figure-shaped data.
+
+The benchmark harness prints each figure as rows/series identical in
+structure to the paper's plots, so paper-vs-measured comparison is a
+visual diff of two small tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Sequence[float], precision: int = 2
+) -> str:
+    """Render one named numeric series on a single line."""
+    rendered = " ".join(f"{v:.{precision}f}" for v in values)
+    return f"{name}: {rendered}"
+
+
+def format_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as RFC-4180-ish CSV for downstream plotting.
+
+    Floats keep full precision (unlike the display table); fields
+    containing commas, quotes or newlines are quoted and inner quotes
+    doubled.
+    """
+
+    def escape(cell: object) -> str:
+        text = repr(cell) if isinstance(cell, float) else str(cell)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(escape(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        lines.append(",".join(escape(cell) for cell in row))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

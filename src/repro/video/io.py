@@ -1,0 +1,106 @@
+"""Raw luma file I/O.
+
+Real QCIF clips ship as headerless planar YUV (``.qcif``/``.yuv``).  The
+experiments here only need luma, so these helpers read and write the
+headerless 8-bit luma plane format: ``n_frames * height * width`` bytes.
+When a real FOREMAN.QCIF is available its luma plane can be extracted and
+loaded with :func:`read_raw_luma` to replace the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.video.frame import Frame, VideoSequence
+
+
+def write_raw_luma(sequence: VideoSequence, path: str | os.PathLike[str]) -> int:
+    """Write a sequence as a headerless 8-bit luma file.
+
+    Returns the number of bytes written.
+    """
+    path = Path(path)
+    data = np.concatenate([frame.pixels.reshape(-1) for frame in sequence])
+    path.write_bytes(data.tobytes())
+    return data.size
+
+
+def read_raw_luma(
+    path: str | os.PathLike[str],
+    width: int,
+    height: int,
+    name: str | None = None,
+    fps: float = 30.0,
+    max_frames: int | None = None,
+) -> VideoSequence:
+    """Read a headerless 8-bit luma file into a :class:`VideoSequence`.
+
+    Args:
+        path: file of ``n * height * width`` bytes.
+        width: luma width in pixels (must be a multiple of 16).
+        height: luma height in pixels (must be a multiple of 16).
+        name: sequence name; defaults to the file stem.
+        fps: nominal frame rate.
+        max_frames: optionally stop after this many frames.
+
+    Raises:
+        ValueError: if the file size is not a whole number of frames.
+    """
+    path = Path(path)
+    raw = np.frombuffer(path.read_bytes(), dtype=np.uint8)
+    frame_px = width * height
+    if frame_px <= 0:
+        raise ValueError("width and height must be positive")
+    if raw.size == 0 or raw.size % frame_px:
+        raise ValueError(
+            f"{path} holds {raw.size} bytes, not a multiple of "
+            f"frame size {frame_px}"
+        )
+    n_frames = raw.size // frame_px
+    if max_frames is not None:
+        n_frames = min(n_frames, max_frames)
+    frames = tuple(
+        Frame(raw[i * frame_px : (i + 1) * frame_px].reshape(height, width).copy(), i)
+        for i in range(n_frames)
+    )
+    return VideoSequence(frames, name=name or path.stem, fps=fps)
+
+
+def write_pgm(frame: Frame, path: str | os.PathLike[str]) -> None:
+    """Write a frame's luma as a binary PGM (P5) image.
+
+    PGM needs no image library, so decoded output can be eyeballed in
+    any viewer — handy when judging what a loss pattern actually did.
+    """
+    path = Path(path)
+    header = f"P5\n{frame.width} {frame.height}\n255\n".encode("ascii")
+    path.write_bytes(header + frame.pixels.tobytes())
+
+
+def yuv420_to_rgb(frame: Frame) -> np.ndarray:
+    """BT.601 conversion to an ``(h, w, 3)`` uint8 RGB array.
+
+    Chroma planes are upsampled 2x nearest-neighbour.  Requires a frame
+    with chroma.
+    """
+    if not frame.has_chroma:
+        raise ValueError("frame carries no chroma planes")
+    y = frame.pixels.astype(np.float64)
+    cb = np.repeat(np.repeat(frame.cb, 2, axis=0), 2, axis=1).astype(np.float64)
+    cr = np.repeat(np.repeat(frame.cr, 2, axis=0), 2, axis=1).astype(np.float64)
+    r = y + 1.402 * (cr - 128.0)
+    g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0)
+    b = y + 1.772 * (cb - 128.0)
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(rgb, 0, 255).astype(np.uint8)
+
+
+def write_ppm(frame: Frame, path: str | os.PathLike[str]) -> None:
+    """Write a chroma-carrying frame as a binary PPM (P6) colour image."""
+    rgb = yuv420_to_rgb(frame)
+    path = Path(path)
+    header = f"P6\n{frame.width} {frame.height}\n255\n".encode("ascii")
+    path.write_bytes(header + rgb.tobytes())

@@ -1,0 +1,382 @@
+"""Seeded synthetic stand-ins for the paper's QCIF test clips.
+
+The paper evaluates on FOREMAN (talking head, moderate motion plus a camera
+pan), AKIYO (news anchor, very low motion) and GARDEN (flower garden,
+continuous high-detail camera pan).  Those clips cannot be bundled, so this
+module synthesizes sequences that reproduce the properties the schemes under
+study are sensitive to:
+
+* spatial texture energy (drives intra coding cost and SAD_self),
+* global motion (drives motion-vector magnitude and ME difficulty),
+* local object motion (drives AIR's SAD ranking and PBPAIR's similarity
+  factor),
+* temporal stationarity (drives the inter/intra rate gap).
+
+Every generator is deterministic given its seed, so experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.video.frame import Frame, VideoSequence, QCIF_WIDTH, QCIF_HEIGHT
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of a synthetic sequence.
+
+    Attributes:
+        width, height: frame dimensions (multiples of 16).
+        n_frames: number of frames to generate.
+        texture_scale: standard deviation of the background texture, in
+            grey levels.  Higher values make intra coding more expensive.
+        texture_smoothness: box-blur radius applied to the background
+            noise field; larger values give smoother, lower-frequency
+            texture (easier to compress).
+        pan_speed: horizontal camera translation in pixels/frame applied
+            to the whole scene (GARDEN-style global motion).
+        pan_start_frame: frame index at which panning begins (FOREMAN's
+            pan only starts near the end of the clip).
+        object_radius: radius in pixels of the moving foreground object
+            (0 disables the object).
+        object_motion_amplitude: peak-to-peak sway of the foreground
+            object in pixels (head/shoulder movement).
+        object_motion_period: frames per sway cycle.
+        sensor_noise: per-frame additive Gaussian noise sigma in grey
+            levels (camera noise; keeps inter residuals non-zero).
+        texture_drift: peak amplitude, in grey levels, of a smooth
+            temporal modulation of the scene texture.  Real clips are
+            never perfectly translational between frames (sub-pixel
+            motion, lighting, sensor gain), which is what gives inter
+            macroblocks their residual cost; this term models that.
+            0 disables it.
+        texture_drift_period: frames per modulation cycle.
+        camera_jitter: standard deviation, in pixels, of a sub-pixel
+            hand-held camera shake (random walk, mean-reverting).  Real
+            hand-held clips like FOREMAN move globally by fractions of a
+            pixel every frame; integer-pel motion estimation cannot
+            cancel that, which is a large part of real inter-coding
+            cost.  0 disables it.
+        chroma: also render 4:2:0 Cb/Cr planes (smooth colour fields
+            that pan with the scene, warm-tinted foreground object).
+            Off by default: the paper's metrics are luma.
+        seed: RNG seed.
+    """
+
+    width: int = QCIF_WIDTH
+    height: int = QCIF_HEIGHT
+    n_frames: int = 300
+    texture_scale: float = 40.0
+    texture_smoothness: int = 4
+    pan_speed: float = 0.0
+    pan_start_frame: int = 0
+    object_radius: int = 0
+    object_motion_amplitude: float = 0.0
+    object_motion_period: int = 60
+    sensor_noise: float = 1.0
+    texture_drift: float = 0.0
+    texture_drift_period: int = 50
+    camera_jitter: float = 0.0
+    chroma: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width % 16 or self.height % 16:
+            raise ValueError("dimensions must be multiples of 16")
+        if self.n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        if self.texture_smoothness < 0:
+            raise ValueError("texture_smoothness must be >= 0")
+        if self.texture_drift < 0:
+            raise ValueError("texture_drift must be >= 0")
+        if self.texture_drift_period < 1:
+            raise ValueError("texture_drift_period must be >= 1")
+        if self.camera_jitter < 0:
+            raise ValueError("camera_jitter must be >= 0")
+
+
+def _box_blur(field: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box blur via cumulative sums (no scipy dependency)."""
+    if radius <= 0:
+        return field
+    size = 2 * radius + 1
+    for axis in (0, 1):
+        padded = np.concatenate(
+            [
+                np.repeat(field.take([0], axis=axis), radius, axis=axis),
+                field,
+                np.repeat(field.take([-1], axis=axis), radius, axis=axis),
+            ],
+            axis=axis,
+        )
+        csum = np.cumsum(padded, axis=axis, dtype=np.float64)
+        zero = np.zeros_like(csum.take([0], axis=axis))
+        csum = np.concatenate([zero, csum], axis=axis)
+        hi = csum.take(range(size, csum.shape[axis]), axis=axis)
+        lo = csum.take(range(0, csum.shape[axis] - size), axis=axis)
+        field = (hi - lo) / size
+    return field
+
+
+def _world_texture(
+    rng: np.random.Generator, height: int, width: int, config: SyntheticConfig
+) -> np.ndarray:
+    """A static 'world' larger than the frame, to be panned over.
+
+    Combines a smoothed random field (natural texture) with a few sharp
+    structured edges (buildings / fence posts) so that both low- and
+    high-frequency content is present.
+    """
+    noise = rng.standard_normal((height, width))
+    texture = _box_blur(noise, config.texture_smoothness)
+    std = texture.std()
+    if std > 0:
+        texture = texture / std * config.texture_scale
+    world = 128.0 + texture
+    # Structured vertical stripes: sharp edges survive blurring and give
+    # the panning sequences high-contrast detail like GARDEN's flowerbeds.
+    n_stripes = max(2, width // 48)
+    xs = rng.integers(0, width, size=n_stripes)
+    stripe_w = rng.integers(2, 8, size=n_stripes)
+    stripe_amp = rng.uniform(-60, 60, size=n_stripes)
+    for x, w, amp in zip(xs, stripe_w, stripe_amp):
+        world[:, x : x + int(w)] += amp
+    return world
+
+
+def _bilinear_crop(
+    world: np.ndarray, y0: float, x0: float, height: int, width: int
+) -> np.ndarray:
+    """Crop a window at a fractional position with bilinear interpolation.
+
+    Fractional positions are what make camera pan and jitter sub-pixel:
+    the cropped content is a blend of neighbouring world pixels, which
+    integer-pel motion estimation can never reproduce exactly.
+    """
+    yi, xi = int(np.floor(y0)), int(np.floor(x0))
+    fy, fx = y0 - yi, x0 - xi
+    a = world[yi : yi + height + 1, xi : xi + width + 1]
+    top = a[:height, :width] * (1 - fx) + a[:height, 1 : width + 1] * fx
+    bottom = a[1 : height + 1, :width] * (1 - fx) + a[1 : height + 1, 1 : width + 1] * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def _paint_object(
+    canvas: np.ndarray,
+    center_y: float,
+    center_x: float,
+    radius: int,
+    fill: np.ndarray,
+    offset_y: float,
+    offset_x: float,
+) -> None:
+    """Composite an elliptical foreground patch onto ``canvas`` in place.
+
+    The fill texture is translated by ``(offset_y, offset_x)`` so the
+    object's *content* moves with the object (sub-pixel, bilinear) — a
+    moving mask over static texture would generate almost no inter
+    residual, which is not how real foreground motion behaves.
+    """
+    height, width = canvas.shape
+    pad = 16
+    offset_y = float(np.clip(offset_y, -(pad - 1), pad - 1))
+    offset_x = float(np.clip(offset_x, -(pad - 1), pad - 1))
+    padded_fill = np.pad(fill, pad, mode="reflect")
+    moved_fill = _bilinear_crop(
+        padded_fill, pad - offset_y, pad - offset_x, height, width
+    )
+    ys = np.arange(height)[:, None]
+    xs = np.arange(width)[None, :]
+    # A head-like ellipse: 1.3x taller than wide.
+    mask = ((ys - center_y) / (1.3 * radius)) ** 2 + ((xs - center_x) / radius) ** 2 <= 1.0
+    canvas[mask] = moved_fill[mask]
+
+
+def generate_sequence(config: SyntheticConfig, name: str = "synthetic") -> VideoSequence:
+    """Render a synthetic sequence from a :class:`SyntheticConfig`."""
+    rng = np.random.default_rng(config.seed)
+    total_pan = abs(config.pan_speed) * config.n_frames
+    world_w = config.width + int(np.ceil(total_pan)) + 32
+    world_h = config.height + 32
+    world = _world_texture(rng, world_h, world_w, config)
+
+    # Foreground texture is generated once so the object is temporally
+    # stable (its *position* moves, its *content* does not).
+    object_fill = 128.0 + _box_blur(
+        rng.standard_normal((config.height, config.width)), 2
+    ) * config.texture_scale
+    object_fill += 25.0  # foreground slightly brighter than background
+
+    # Smooth spatial phase field for the temporal texture drift: each
+    # region of the world modulates with its own phase, so the change
+    # between consecutive frames is spatially coherent (like lighting or
+    # sub-pixel motion), not per-pixel noise the quantizer would kill.
+    if config.texture_drift > 0:
+        drift_phase = _box_blur(rng.standard_normal((world_h, world_w)), 8)
+        std = drift_phase.std()
+        if std > 0:
+            drift_phase = drift_phase / std * np.pi
+    else:
+        drift_phase = None
+
+    if config.chroma:
+        # Smooth colour fields at 4:2:0 resolution; they pan with the
+        # scene so chroma motion tracks luma motion.
+        cb_world = 128.0 + _box_blur(
+            rng.standard_normal((world_h // 2 + 2, world_w // 2 + 2)), 6
+        ) * 18.0
+        cr_world = 128.0 + _box_blur(
+            rng.standard_normal((world_h // 2 + 2, world_w // 2 + 2)), 6
+        ) * 18.0
+
+    frames = []
+    pan_offset = 0.0
+    jitter_y = jitter_x = 0.0
+    for k in range(config.n_frames):
+        if k >= config.pan_start_frame:
+            pan_offset += config.pan_speed
+        if config.camera_jitter > 0:
+            # Mean-reverting random walk: shake without wandering away.
+            jitter_y = 0.7 * jitter_y + rng.normal(0.0, config.camera_jitter)
+            jitter_x = 0.7 * jitter_x + rng.normal(0.0, config.camera_jitter)
+            jitter_y = float(np.clip(jitter_y, -3.0, 3.0))
+            jitter_x = float(np.clip(jitter_x, -3.0, 3.0))
+        x0 = abs(pan_offset) if config.pan_speed >= 0 else total_pan - abs(pan_offset)
+        x0 = min(max(x0 + jitter_x + 4.0, 0.0), world_w - config.width - 2.0)
+        y0 = min(max(16.0 + jitter_y, 0.0), world_h - config.height - 2.0)
+        canvas = _bilinear_crop(world, y0, x0, config.height, config.width)
+
+        if drift_phase is not None:
+            omega = 2.0 * np.pi * k / config.texture_drift_period
+            yi, xi = int(y0), int(x0)
+            local_phase = drift_phase[
+                yi : yi + config.height, xi : xi + config.width
+            ]
+            canvas += config.texture_drift * np.sin(local_phase + omega)
+
+        if config.object_radius > 0:
+            phase = 2.0 * np.pi * k / max(config.object_motion_period, 1)
+            sway = 0.5 * config.object_motion_amplitude * np.sin(phase)
+            bob = 0.25 * config.object_motion_amplitude * np.sin(2.1 * phase + 0.7)
+            _paint_object(
+                canvas,
+                center_y=config.height * 0.55 + bob,
+                center_x=config.width * 0.5 + sway,
+                radius=config.object_radius,
+                fill=object_fill,
+                offset_y=bob,
+                offset_x=sway,
+            )
+
+        if config.sensor_noise > 0:
+            canvas = canvas + rng.normal(0.0, config.sensor_noise, canvas.shape)
+
+        cb = cr = None
+        if config.chroma:
+            half_h, half_w = config.height // 2, config.width // 2
+            cb = _bilinear_crop(cb_world, y0 / 2, x0 / 2, half_h, half_w)
+            cr = _bilinear_crop(cr_world, y0 / 2, x0 / 2, half_h, half_w)
+            if config.object_radius > 0:
+                # Warm tint on the foreground (skin-tone-ish: Cr up).
+                ys = np.arange(half_h)[:, None]
+                xs = np.arange(half_w)[None, :]
+                phase = 2.0 * np.pi * k / max(config.object_motion_period, 1)
+                sway = 0.25 * config.object_motion_amplitude * np.sin(phase)
+                mask = (
+                    (ys - config.height * 0.275) / (0.65 * config.object_radius)
+                ) ** 2 + (
+                    (xs - (config.width * 0.25 + sway / 2))
+                    / (0.5 * config.object_radius)
+                ) ** 2 <= 1.0
+                cr = np.where(mask, cr + 25.0, cr)
+                cb = np.where(mask, cb - 10.0, cb)
+            cb = np.clip(cb, 0, 255).astype(np.uint8)
+            cr = np.clip(cr, 0, 255).astype(np.uint8)
+
+        frames.append(
+            Frame(np.clip(canvas, 0, 255).astype(np.uint8), k, cb, cr)
+        )
+
+    return VideoSequence(tuple(frames), name=name, fps=30.0)
+
+
+def foreman_like(n_frames: int = 300, seed: int = 1) -> VideoSequence:
+    """Talking head with moderate local motion and a late camera pan.
+
+    Mirrors FOREMAN: a large foreground face swaying in front of a
+    textured background, with the camera panning away in the final third.
+    """
+    config = SyntheticConfig(
+        n_frames=n_frames,
+        texture_scale=35.0,
+        texture_smoothness=3,
+        pan_speed=5.0,
+        pan_start_frame=(2 * n_frames) // 3,
+        object_radius=30,
+        object_motion_amplitude=26.0,
+        object_motion_period=30,
+        sensor_noise=0.6,
+        texture_drift=3.0,
+        texture_drift_period=45,
+        camera_jitter=0.1,
+        seed=seed,
+    )
+    return generate_sequence(config, name="foreman")
+
+
+def akiyo_like(n_frames: int = 300, seed: int = 2) -> VideoSequence:
+    """News anchor: static camera, small localized motion.
+
+    Mirrors AKIYO: almost everything is temporally stationary, so inter
+    coding is extremely cheap and intra refresh dominates the bitstream
+    size.
+    """
+    config = SyntheticConfig(
+        n_frames=n_frames,
+        texture_scale=25.0,
+        texture_smoothness=5,
+        pan_speed=0.0,
+        object_radius=24,
+        object_motion_amplitude=12.0,
+        object_motion_period=50,
+        sensor_noise=0.5,
+        texture_drift=1.5,
+        texture_drift_period=70,
+        seed=seed,
+    )
+    return generate_sequence(config, name="akiyo")
+
+
+def garden_like(n_frames: int = 300, seed: int = 3) -> VideoSequence:
+    """Flower garden: continuous high-detail global pan.
+
+    Mirrors GARDEN: high-frequency texture translated uniformly every
+    frame, making both intra and inter coding expensive and ME essential.
+    """
+    config = SyntheticConfig(
+        n_frames=n_frames,
+        texture_scale=55.0,
+        texture_smoothness=1,
+        pan_speed=2.6,
+        pan_start_frame=0,
+        object_radius=0,
+        sensor_noise=0.8,
+        texture_drift=4.0,
+        texture_drift_period=35,
+        camera_jitter=0.1,
+        seed=seed,
+    )
+    return generate_sequence(config, name="garden")
+
+
+#: Name → generator map used by the benchmark harness.
+SEQUENCE_GENERATORS: Dict[str, Callable[[int], VideoSequence]] = {
+    "foreman": foreman_like,
+    "akiyo": akiyo_like,
+    "garden": garden_like,
+}

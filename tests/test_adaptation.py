@@ -1,0 +1,152 @@
+"""Unit tests for the Section 3.2 power-awareness adaptation policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptation import (
+    EnergyBudgetController,
+    FeedbackIntraThController,
+    intra_th_for_plr_change,
+)
+from repro.core.correctness import refresh_interval
+
+
+class TestIntraThForPlrChange:
+    def test_identity_when_plr_unchanged(self):
+        assert intra_th_for_plr_change(0.4, 0.1, 0.1) == pytest.approx(0.4)
+
+    def test_plr_increase_lowers_threshold(self):
+        # The paper: rising PLR -> decrease Intra_Th to keep the intra
+        # rate similar.
+        new_th = intra_th_for_plr_change(0.5, 0.05, 0.2)
+        assert new_th < 0.5
+
+    def test_plr_decrease_raises_threshold(self):
+        new_th = intra_th_for_plr_change(0.5, 0.2, 0.05)
+        assert new_th > 0.5
+
+    def test_preserves_refresh_interval(self):
+        old_plr, new_plr, th = 0.1, 0.25, 0.5
+        new_th = intra_th_for_plr_change(th, old_plr, new_plr)
+        assert refresh_interval(new_plr, new_th) == pytest.approx(
+            refresh_interval(old_plr, th), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("th", [0.0, 1.0])
+    def test_extreme_thresholds_fixed_points(self, th):
+        assert intra_th_for_plr_change(th, 0.1, 0.3) == th
+
+    def test_degenerate_plrs_no_change(self):
+        assert intra_th_for_plr_change(0.5, 0.0, 0.2) == 0.5
+        assert intra_th_for_plr_change(0.5, 0.2, 1.0) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            intra_th_for_plr_change(1.5, 0.1, 0.2)
+        with pytest.raises(ValueError):
+            intra_th_for_plr_change(0.5, -0.1, 0.2)
+
+    @given(
+        th=st.floats(0.01, 0.99),
+        old=st.floats(0.01, 0.9),
+        new=st.floats(0.01, 0.9),
+    )
+    @settings(max_examples=100)
+    def test_result_always_in_unit_interval(self, th, old, new):
+        out = intra_th_for_plr_change(th, old, new)
+        assert 0.0 <= out <= 1.0
+
+
+class TestFeedbackController:
+    def test_raises_threshold_when_intra_rate_low(self):
+        controller = FeedbackIntraThController(
+            intra_th=0.5, target_intra_fraction=0.3, gain=0.1
+        )
+        new = controller.observe(0.1)
+        assert new > 0.5
+
+    def test_lowers_threshold_when_intra_rate_high(self):
+        controller = FeedbackIntraThController(
+            intra_th=0.5, target_intra_fraction=0.3, gain=0.1
+        )
+        new = controller.observe(0.8)
+        assert new < 0.5
+
+    def test_clamped_to_bounds(self):
+        controller = FeedbackIntraThController(
+            intra_th=0.98, target_intra_fraction=1.0, gain=0.5, max_th=1.0
+        )
+        for _ in range(10):
+            controller.observe(0.0)
+        assert controller.intra_th == 1.0
+
+    def test_at_target_is_stationary(self):
+        controller = FeedbackIntraThController(
+            intra_th=0.4, target_intra_fraction=0.25, gain=0.1
+        )
+        assert controller.observe(0.25) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackIntraThController(0.5, target_intra_fraction=2.0)
+        with pytest.raises(ValueError):
+            FeedbackIntraThController(0.5, 0.3, gain=0.0)
+        with pytest.raises(ValueError):
+            FeedbackIntraThController(0.5, 0.3, min_th=0.8, max_th=0.2)
+        controller = FeedbackIntraThController(0.5, 0.3)
+        with pytest.raises(ValueError):
+            controller.observe(1.5)
+
+
+class TestEnergyBudgetController:
+    def test_over_budget_raises_threshold(self):
+        # More intra refresh = less ME = less energy, so exceeding the
+        # budget must push the threshold UP.
+        controller = EnergyBudgetController(
+            intra_th=0.5, budget_joules_per_frame=0.01
+        )
+        new = controller.observe_energy(0.02)
+        assert new > 0.5
+
+    def test_under_budget_lowers_threshold(self):
+        controller = EnergyBudgetController(
+            intra_th=0.5, budget_joules_per_frame=0.01
+        )
+        new = controller.observe_energy(0.005)
+        assert new < 0.5
+
+    def test_deadband_holds_threshold(self):
+        controller = EnergyBudgetController(
+            intra_th=0.5, budget_joules_per_frame=0.01, deadband=0.2
+        )
+        assert controller.observe_energy(0.0105) == pytest.approx(0.5)
+        assert controller.observe_energy(0.0095) == pytest.approx(0.5)
+
+    def test_clamping(self):
+        controller = EnergyBudgetController(
+            intra_th=0.99, budget_joules_per_frame=0.01, step=0.1
+        )
+        for _ in range(5):
+            controller.observe_energy(1.0)
+        assert controller.intra_th == 1.0
+
+    def test_expected_refresh_interval(self):
+        controller = EnergyBudgetController(
+            intra_th=0.5, budget_joules_per_frame=0.01
+        )
+        assert controller.expected_refresh_interval(0.1) == pytest.approx(
+            refresh_interval(0.1, 0.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBudgetController(0.5, budget_joules_per_frame=0.0)
+        with pytest.raises(ValueError):
+            EnergyBudgetController(0.5, 0.01, step=-1)
+        with pytest.raises(ValueError):
+            EnergyBudgetController(0.5, 0.01, deadband=-0.1)
+        controller = EnergyBudgetController(0.5, 0.01)
+        with pytest.raises(ValueError):
+            controller.observe_energy(-1.0)

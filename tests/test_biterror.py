@@ -1,0 +1,134 @@
+"""Tests for the bit-error channel and decoder robustness under it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.biterror import PROTECTED_HEADER_BYTES, BitErrorChannel
+from repro.network.loss import NoLoss
+from repro.network.packet import Packet
+from repro.resilience.none import NoResilience
+from repro.resilience.pbpair_strategy import PBPAIRStrategy
+from repro.core.pbpair import PBPAIRConfig
+from repro.sim.pipeline import SimulationConfig, simulate
+
+from tests.conftest import small_config, small_sequence
+
+
+def _packet(payload: bytes, frame=1) -> Packet:
+    return Packet(0, frame, 0, 1, payload)
+
+
+class TestBitErrorChannel:
+    def test_zero_ber_is_identity(self):
+        channel = BitErrorChannel(ber=0.0)
+        payload = bytes(range(64))
+        out = channel.corrupt([_packet(payload)])
+        assert out[0].payload == payload
+
+    def test_flip_rate_statistical(self):
+        channel = BitErrorChannel(ber=0.05, seed=3, protect_header=False)
+        payload = bytes(4000)
+        out = channel.corrupt([_packet(payload)])[0].payload
+        flipped = np.unpackbits(np.frombuffer(out, dtype=np.uint8)).sum()
+        assert abs(flipped / (len(payload) * 8) - 0.05) < 0.01
+
+    def test_header_protected(self):
+        channel = BitErrorChannel(ber=1.0, protect_header=True)
+        payload = bytes(range(32))
+        out = channel.corrupt([_packet(payload)])[0].payload
+        assert out[:PROTECTED_HEADER_BYTES] == payload[:PROTECTED_HEADER_BYTES]
+        assert out[PROTECTED_HEADER_BYTES:] != payload[PROTECTED_HEADER_BYTES:]
+
+    def test_first_frame_protected(self):
+        channel = BitErrorChannel(ber=1.0)
+        payload = bytes(range(32))
+        out = channel.corrupt([_packet(payload, frame=0)])[0].payload
+        assert out == payload
+
+    def test_metadata_preserved(self):
+        channel = BitErrorChannel(ber=0.5, seed=1, protect_header=False)
+        packet = Packet(9, 3, 1, 2, bytes(100))
+        out = channel.corrupt([packet])[0]
+        assert (out.sequence_number, out.frame_index, out.fragment_index) == (
+            9,
+            3,
+            1,
+        )
+
+    def test_reset_replays(self):
+        channel = BitErrorChannel(ber=0.3, seed=8, protect_header=False)
+        payload = bytes(200)
+        first = channel.corrupt([_packet(payload)])[0].payload
+        channel.reset()
+        second = channel.corrupt([_packet(payload)])[0].payload
+        assert first == second
+
+    def test_rejects_bad_ber(self):
+        with pytest.raises(ValueError):
+            BitErrorChannel(ber=1.5)
+
+
+class TestEndToEndUnderBitErrors:
+    def test_pipeline_survives_corruption(self):
+        clip = small_sequence(n_frames=8)
+        result = simulate(
+            clip,
+            NoResilience(),
+            NoLoss(),
+            SimulationConfig(codec=small_config()),
+            bit_errors=BitErrorChannel(ber=0.002, seed=4),
+        )
+        assert result.n_frames == len(clip)
+        assert np.isfinite(result.average_psnr_decoder)
+
+    def test_corruption_degrades_quality(self):
+        clip = small_sequence(n_frames=10)
+        config = SimulationConfig(codec=small_config())
+        clean = simulate(clip, NoResilience(), NoLoss(), config)
+        dirty = simulate(
+            clip,
+            NoResilience(),
+            NoLoss(),
+            config,
+            bit_errors=BitErrorChannel(ber=0.003, seed=4),
+        )
+        assert dirty.average_psnr_decoder < clean.average_psnr_decoder
+
+    def test_refresh_bounds_desync_damage_lifetime(self):
+        # The paper's VLC-desync motivation: a corrupted frame's damage
+        # persists under plain predictive coding but is cleaned up by
+        # intra refresh.  Corrupt exactly one frame (5) and compare the
+        # damage remaining in the final frames.  (Comparing *totals*
+        # under a fixed BER would be misleading: the refresh scheme's
+        # larger stream absorbs proportionally more bit flips.)
+        class SingleFrameCorruption(BitErrorChannel):
+            def corrupt(self, packets):
+                out = []
+                for packet in packets:
+                    if packet.frame_index == 5:
+                        out.extend(super().corrupt([packet]))
+                    else:
+                        out.append(packet)
+                return out
+
+        clip = small_sequence(n_frames=16)
+        config = SimulationConfig(codec=small_config())
+
+        def tail_damage(strategy):
+            result = simulate(
+                clip,
+                strategy,
+                NoLoss(),
+                config,
+                bit_errors=SingleFrameCorruption(ber=0.02, seed=9),
+            )
+            assert result.frames[5].bad_pixels > 0  # the hit landed
+            return sum(r.bad_pixels for r in result.frames[12:])
+
+        no_tail = tail_damage(NoResilience())
+        pbpair_tail = tail_damage(
+            PBPAIRStrategy(PBPAIRConfig(intra_th=0.95, plr=0.2))
+        )
+        assert pbpair_tail < no_tail

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_sequence(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--sequence", "matrix"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.sequence == "foreman"
+        assert args.plr == 0.1
+        assert args.scheme == "PBPAIR"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for token in ("PBPAIR", "foreman", "akiyo", "garden", "ipaq", "zaurus"):
+            assert token in out
+
+    def test_simulate_pbpair(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--frames",
+                "8",
+                "--scheme",
+                "PBPAIR",
+                "--intra-th",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered PSNR" in out
+        assert "encoding energy" in out
+
+    def test_simulate_baseline(self, capsys):
+        assert main(["simulate", "--frames", "6", "--scheme", "GOP-2"]) == 0
+        assert "GOP-2" in capsys.readouterr().out
+
+    def test_simulate_zaurus_device(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--frames",
+                    "6",
+                    "--scheme",
+                    "NO",
+                    "--device",
+                    "zaurus",
+                ]
+            )
+            == 0
+        )
+        assert "Zaurus" in capsys.readouterr().out
+
+    def test_simulate_bad_scheme_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--frames", "4", "--scheme", "MAGIC-9"])
+
+    def test_bad_frames_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--frames", "0"])
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--frames", "8", "--sequence", "akiyo"]) == 0
+        out = capsys.readouterr().out
+        assert "Intra_Th" in out
+        assert "operating points" in out
+
+    @pytest.mark.slow
+    def test_compare(self, capsys):
+        assert main(["compare", "--frames", "12"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24"):
+            assert scheme in out
+
+
+class TestSigmaCommand:
+    def test_sigma_prints_heatmaps(self, capsys):
+        assert main(["sigma", "--frames", "8", "--sequence", "akiyo"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma heatmaps" in out
+        assert "frame" in out
+        # 9 rows of 11 glyphs for QCIF.
+        lines = [l for l in out.splitlines() if len(l) == 11]
+        assert len(lines) >= 9

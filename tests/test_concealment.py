@@ -1,0 +1,198 @@
+"""Unit tests for error concealment strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.concealment.copy import CopyConcealment
+from repro.concealment.spatial import SpatialConcealment
+
+ROWS, COLS = 3, 4
+H, W = ROWS * 16, COLS * 16
+
+
+def _frame(value=0):
+    return np.full((H, W), value, dtype=np.uint8)
+
+
+def _received(*lost):
+    mask = np.ones((ROWS, COLS), dtype=bool)
+    for r, c in lost:
+        mask[r, c] = False
+    return mask
+
+
+class TestCopyConcealment:
+    def test_no_losses_is_identity(self, rng):
+        frame = rng.integers(0, 256, (H, W)).astype(np.uint8)
+        out = CopyConcealment().conceal(frame, _received(), _frame(9))
+        np.testing.assert_array_equal(out, frame)
+
+    def test_lost_block_copied_from_reference(self):
+        frame = _frame(10)
+        reference = _frame(200)
+        out = CopyConcealment().conceal(frame, _received((1, 2)), reference)
+        assert (out[16:32, 32:48] == 200).all()
+        assert (out[0:16, 0:16] == 10).all()
+
+    def test_no_reference_fills_grey(self):
+        out = CopyConcealment().conceal(_frame(10), _received((0, 0)), None)
+        assert (out[:16, :16] == 128).all()
+
+    def test_input_not_mutated(self):
+        frame = _frame(10)
+        CopyConcealment().conceal(frame, _received((0, 0)), _frame(99))
+        assert (frame == 10).all()
+
+
+class TestSpatialConcealment:
+    def test_no_losses_is_identity(self, rng):
+        frame = rng.integers(0, 256, (H, W)).astype(np.uint8)
+        out = SpatialConcealment().conceal(frame, _received(), None)
+        np.testing.assert_array_equal(out, frame)
+
+    def test_interpolates_from_neighbours(self):
+        frame = _frame(0)
+        frame[:, :] = 0
+        frame[0:16, 16:32] = 100  # above
+        frame[32:48, 16:32] = 200  # below
+        received = _received((1, 1))
+        # Make left/right neighbours lost too so only above/below count.
+        received[1, 0] = False
+        received[1, 2] = False
+        out = SpatialConcealment().conceal(frame, received, None)
+        assert abs(int(out[20, 20]) - 150) <= 1
+
+    def test_fully_surrounded_falls_back_to_copy(self):
+        frame = _frame(10)
+        reference = _frame(222)
+        received = np.zeros((ROWS, COLS), dtype=bool)  # everything lost
+        out = SpatialConcealment().conceal(frame, received, reference)
+        np.testing.assert_array_equal(out, reference)
+
+    def test_corner_block_uses_available_neighbours(self):
+        frame = _frame(0)
+        frame[0:16, 16:32] = 80  # right neighbour of (0,0)
+        frame[16:32, 0:16] = 80  # below neighbour of (0,0)
+        out = SpatialConcealment().conceal(frame, _received((0, 0)), None)
+        assert (out[:16, :16] == 80).all()
+
+    def test_names(self):
+        assert CopyConcealment().name == "copy"
+        assert SpatialConcealment().name == "spatial"
+
+
+class TestMotionRecoveryConcealment:
+    def _panned_pair(self, rng, shift=4):
+        # Reference, and a current frame equal to the reference panned
+        # left by `shift` pixels (global motion).
+        reference = rng.integers(0, 256, (H, W + 16)).astype(np.uint8)
+        previous = reference[:, :W].copy()
+        current = reference[:, shift : W + shift].copy()
+        return previous, current
+
+    def test_global_pan_recovered_better_than_copy(self, rng):
+        from repro.concealment.motion import MotionRecoveryConcealment
+
+        shift = 4
+        previous, current = self._panned_pair(rng, shift)
+        received = _received((1, 1))
+        decoded = current.copy()
+        decoded[16:32, 16:32] = previous[16:32, 16:32]  # copy-seeded loss
+        # Every received neighbour decoded the true global motion.
+        mvs = np.zeros((ROWS, COLS, 2), dtype=np.int64)
+        mvs[:, :, 1] = shift
+        out = MotionRecoveryConcealment().conceal(
+            decoded, received, previous, mvs_pixels=mvs
+        )
+        truth = current[16:32, 16:32].astype(np.int64)
+        recovered = out[16:32, 16:32].astype(np.int64)
+        copied = previous[16:32, 16:32].astype(np.int64)
+        assert np.abs(recovered - truth).sum() < np.abs(copied - truth).sum()
+        np.testing.assert_array_equal(recovered, truth)
+
+    def test_without_motion_field_falls_back_to_copy(self):
+        from repro.concealment.motion import MotionRecoveryConcealment
+        from repro.concealment.copy import CopyConcealment
+
+        frame = _frame(10)
+        reference = _frame(200)
+        received = _received((0, 2))
+        motion_out = MotionRecoveryConcealment().conceal(
+            frame, received, reference, mvs_pixels=None
+        )
+        copy_out = CopyConcealment().conceal(frame, received, reference)
+        np.testing.assert_array_equal(motion_out, copy_out)
+
+    def test_intra_neighbours_excluded(self, rng):
+        from repro.codec.types import MacroblockMode
+        from repro.concealment.motion import MotionRecoveryConcealment
+
+        previous, current = self._panned_pair(rng, 4)
+        received = _received((1, 1))
+        decoded = current.copy()
+        # All neighbours are intra (mv zero is meaningless): strategy
+        # must keep the copy fallback rather than trust zero motion.
+        mvs = np.zeros((ROWS, COLS, 2), dtype=np.int64)
+        modes = np.full((ROWS, COLS), MacroblockMode.INTRA, dtype=object)
+        out = MotionRecoveryConcealment().conceal(
+            decoded, received, previous, mvs_pixels=mvs, modes=modes
+        )
+        np.testing.assert_array_equal(
+            out[16:32, 16:32], previous[16:32, 16:32]
+        )
+
+    def test_median_rejects_outlier(self, rng):
+        from repro.concealment.motion import MotionRecoveryConcealment
+
+        shift = 4
+        previous, current = self._panned_pair(rng, shift)
+        received = _received((1, 1))
+        decoded = current.copy()
+        mvs = np.zeros((ROWS, COLS, 2), dtype=np.int64)
+        mvs[:, :, 1] = shift
+        mvs[0, 1, 1] = -7  # one disagreeing neighbour
+        out = MotionRecoveryConcealment().conceal(
+            decoded, received, previous, mvs_pixels=mvs
+        )
+        np.testing.assert_array_equal(
+            out[16:32, 16:32], current[16:32, 16:32]
+        )
+
+    def test_end_to_end_on_panning_clip(self):
+        from repro.concealment.copy import CopyConcealment
+        from repro.concealment.motion import MotionRecoveryConcealment
+        from repro.network.loss import ScriptedLoss
+        from repro.resilience.none import NoResilience
+        from repro.sim.pipeline import SimulationConfig, simulate
+        from tests.conftest import small_config, small_sequence
+
+        # Strong smooth pan so neighbours' motion is informative.
+        clip = small_sequence(
+            n_frames=10,
+            texture_smoothness=4,
+            pan_speed=3.0,
+            object_radius=0,
+            sensor_noise=0.4,
+            texture_drift=0.0,
+        )
+        config = SimulationConfig(codec=small_config())
+        copy_run = simulate(
+            clip,
+            NoResilience(),
+            ScriptedLoss([4]),
+            config,
+            concealment=CopyConcealment(),
+        )
+        motion_run = simulate(
+            clip,
+            NoResilience(),
+            ScriptedLoss([4]),
+            config,
+            concealment=MotionRecoveryConcealment(),
+        )
+        assert (
+            motion_run.frames[4].psnr_decoder
+            >= copy_run.frames[4].psnr_decoder
+        )

@@ -1,0 +1,247 @@
+"""Unit and property tests for the correctness matrix (formulas 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.types import MacroblockMode
+from repro.core.correctness import (
+    CorrectnessMatrix,
+    approximate_sigma,
+    min_sigma_related,
+    refresh_interval,
+    similarity_from_sad,
+)
+
+ROWS, COLS = 3, 4
+
+
+def _modes(intra_mask: np.ndarray) -> np.ndarray:
+    return np.where(
+        intra_mask,
+        np.full(intra_mask.shape, MacroblockMode.INTRA, dtype=object),
+        np.full(intra_mask.shape, MacroblockMode.INTER, dtype=object),
+    )
+
+
+def _zero_mvs() -> np.ndarray:
+    return np.zeros((ROWS, COLS, 2), dtype=np.int64)
+
+
+class TestSimilarity:
+    def test_identical_blocks_give_one(self):
+        sims = similarity_from_sad(np.zeros((2, 2)))
+        assert (sims == 1.0).all()
+
+    def test_large_difference_gives_zero(self):
+        sims = similarity_from_sad(np.full((2, 2), 256 * 255))
+        assert (sims == 0.0).all()
+
+    def test_linear_in_between(self):
+        sad = np.array([[256 * 32.0]])  # mean abs diff of 32 at scale 64
+        assert similarity_from_sad(sad)[0, 0] == pytest.approx(0.5)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_from_sad(np.zeros((1, 1)), scale=0)
+
+
+class TestApproximation:
+    def test_formula_three(self):
+        assert approximate_sigma(0.1, 0) == 1.0
+        assert approximate_sigma(0.1, 1) == pytest.approx(0.9)
+        assert approximate_sigma(0.1, 10) == pytest.approx(0.9**10)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            approximate_sigma(1.5, 1)
+        with pytest.raises(ValueError):
+            approximate_sigma(0.5, -1)
+
+    def test_refresh_interval_matches_formula(self):
+        n = refresh_interval(0.1, 0.5)
+        assert approximate_sigma(0.1, int(np.floor(n))) >= 0.5
+        assert approximate_sigma(0.1, int(np.ceil(n)) + 1) < 0.5
+
+    def test_refresh_interval_edge_cases(self):
+        assert refresh_interval(0.0, 0.5) == float("inf")
+        assert refresh_interval(0.1, 1.0) == 0.0
+        assert refresh_interval(0.1, 0.0) == float("inf")
+
+    def test_refresh_interval_monotone_in_plr(self):
+        assert refresh_interval(0.2, 0.5) < refresh_interval(0.05, 0.5)
+
+
+class TestMinSigmaRelated:
+    def test_zero_motion_is_identity(self):
+        sigma = np.linspace(0.1, 1.0, ROWS * COLS).reshape(ROWS, COLS)
+        out = min_sigma_related(sigma, _zero_mvs())
+        np.testing.assert_allclose(out, sigma)
+
+    def test_positive_displacement_takes_neighbour_minimum(self):
+        sigma = np.ones((ROWS, COLS))
+        sigma[1, 2] = 0.2
+        mvs = _zero_mvs()
+        mvs[1, 1] = (0, 5)  # points right: overlaps (1,1) and (1,2)
+        out = min_sigma_related(sigma, mvs)
+        assert out[1, 1] == pytest.approx(0.2)
+
+    def test_diagonal_overlap_includes_corner(self):
+        sigma = np.ones((ROWS, COLS))
+        sigma[2, 3] = 0.1
+        mvs = _zero_mvs()
+        mvs[1, 2] = (3, 3)  # overlaps (1,2),(1,3),(2,2),(2,3)
+        out = min_sigma_related(sigma, mvs)
+        assert out[1, 2] == pytest.approx(0.1)
+
+    def test_edge_clamping(self):
+        sigma = np.ones((ROWS, COLS))
+        mvs = _zero_mvs()
+        mvs[0, 0] = (-5, -5)  # points out of frame
+        out = min_sigma_related(sigma, mvs)
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_rejects_oversized_mv(self):
+        mvs = _zero_mvs()
+        mvs[0, 0] = (16, 0)
+        with pytest.raises(ValueError):
+            min_sigma_related(np.ones((ROWS, COLS)), mvs)
+
+    def test_result_never_exceeds_own_sigma(self, rng):
+        sigma = rng.uniform(0, 1, size=(ROWS, COLS))
+        mvs = rng.integers(-7, 8, size=(ROWS, COLS, 2))
+        out = min_sigma_related(sigma, mvs)
+        assert (out <= sigma + 1e-12).all()
+
+
+class TestCorrectnessMatrix:
+    def test_starts_error_free(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        assert (matrix.sigma == 1.0).all()
+
+    def test_sigma_view_is_readonly(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        with pytest.raises(ValueError):
+            matrix.sigma[0, 0] = 0.5
+
+    def test_intra_formula_two(self):
+        # One update of an intra MB with similarity s from sigma=1:
+        # sigma' = (1 - a) + a * s * 1.
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        similarity = np.full((ROWS, COLS), 0.5)
+        matrix.update(0.2, _modes(np.ones((ROWS, COLS), bool)), _zero_mvs(), similarity)
+        assert matrix.sigma[0, 0] == pytest.approx(0.8 + 0.2 * 0.5)
+
+    def test_inter_formula_one_zero_motion(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        similarity = np.full((ROWS, COLS), 0.25)
+        intra_none = np.zeros((ROWS, COLS), bool)
+        matrix.update(0.1, _modes(intra_none), _zero_mvs(), similarity)
+        # sigma' = 0.9 * 1 + 0.1 * 0.25 * 1
+        assert matrix.sigma[1, 1] == pytest.approx(0.925)
+        matrix.update(0.1, _modes(intra_none), _zero_mvs(), similarity)
+        expected = 0.9 * 0.925 + 0.1 * 0.25 * 0.925
+        assert matrix.sigma[1, 1] == pytest.approx(expected)
+
+    def test_matches_formula_three_without_similarity(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        zero_sim = np.zeros((ROWS, COLS))
+        intra_none = np.zeros((ROWS, COLS), bool)
+        for k in range(1, 6):
+            matrix.update(0.15, _modes(intra_none), _zero_mvs(), zero_sim)
+            np.testing.assert_allclose(
+                matrix.sigma, approximate_sigma(0.15, k), rtol=1e-12
+            )
+
+    def test_intra_refresh_raises_sigma(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        zero_sim = np.zeros((ROWS, COLS))
+        intra_none = np.zeros((ROWS, COLS), bool)
+        for _ in range(10):
+            matrix.update(0.2, _modes(intra_none), _zero_mvs(), zero_sim)
+        low = matrix.sigma[0, 0]
+        refresh = np.zeros((ROWS, COLS), bool)
+        refresh[0, 0] = True
+        matrix.update(0.2, _modes(refresh), _zero_mvs(), zero_sim)
+        assert matrix.sigma[0, 0] > low
+        assert matrix.sigma[0, 0] == pytest.approx(0.8)
+
+    def test_motion_propagates_low_sigma(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        # Manufacture one damaged MB via targeted decay.
+        zero_sim = np.zeros((ROWS, COLS))
+        intra_all_but = np.ones((ROWS, COLS), bool)
+        intra_all_but[1, 1] = False
+        for _ in range(8):
+            matrix.update(0.3, _modes(intra_all_but), _zero_mvs(), zero_sim)
+        weak = matrix.sigma[1, 1]
+        assert weak < matrix.sigma[0, 0]
+        # Now an inter MB at (1,2) references (1,1): it inherits weakness.
+        mvs = _zero_mvs()
+        mvs[1, 2] = (0, -8)
+        modes = _modes(np.zeros((ROWS, COLS), bool))
+        matrix.update(0.0, modes, mvs, zero_sim)
+        assert matrix.sigma[1, 2] == pytest.approx(weak)
+
+    def test_reset(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        matrix.update(
+            0.5,
+            _modes(np.zeros((ROWS, COLS), bool)),
+            _zero_mvs(),
+            np.zeros((ROWS, COLS)),
+        )
+        matrix.reset()
+        assert (matrix.sigma == 1.0).all()
+
+    def test_validation(self):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        with pytest.raises(ValueError):
+            matrix.update(
+                1.5,
+                _modes(np.zeros((ROWS, COLS), bool)),
+                _zero_mvs(),
+                np.zeros((ROWS, COLS)),
+            )
+        with pytest.raises(ValueError):
+            matrix.update(
+                0.1,
+                _modes(np.zeros((ROWS, COLS), bool)),
+                _zero_mvs(),
+                np.full((ROWS, COLS), 2.0),
+            )
+        with pytest.raises(ValueError):
+            CorrectnessMatrix(0, 5)
+
+    @given(
+        plr=st.floats(0.0, 1.0),
+        sim=st.floats(0.0, 1.0),
+        steps=st.integers(1, 12),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_stays_in_unit_interval(self, plr, sim, steps, seed):
+        rng = np.random.default_rng(seed)
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        for _ in range(steps):
+            intra = rng.random((ROWS, COLS)) < 0.3
+            mvs = rng.integers(-7, 8, size=(ROWS, COLS, 2))
+            matrix.update(plr, _modes(intra), mvs, np.full((ROWS, COLS), sim))
+            assert (matrix.sigma >= 0.0).all() and (matrix.sigma <= 1.0).all()
+
+    @given(plr=st.floats(0.01, 0.5), steps=st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_all_inter_no_similarity_is_monotone_decreasing(self, plr, steps):
+        matrix = CorrectnessMatrix(ROWS, COLS)
+        previous = matrix.sigma.copy()
+        for _ in range(steps):
+            matrix.update(
+                plr,
+                _modes(np.zeros((ROWS, COLS), bool)),
+                _zero_mvs(),
+                np.zeros((ROWS, COLS)),
+            )
+            assert (matrix.sigma <= previous + 1e-12).all()
+            previous = matrix.sigma.copy()

@@ -1,0 +1,73 @@
+"""Tests for receive-side (decoder) energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.decoder import Decoder
+from repro.codec.encoder import Encoder
+from repro.network.loss import NoLoss, ScriptedLoss
+from repro.network.packet import Packetizer
+from repro.resilience.none import NoResilience
+from repro.sim.pipeline import SimulationConfig, simulate
+
+from tests.conftest import small_config, small_sequence
+
+
+class TestDecoderCounters:
+    def test_counts_decoded_work(self, codec_config, sequence):
+        encoder = Encoder(codec_config, NoResilience())
+        packetizer = Packetizer(codec_config)
+        decoder = Decoder(codec_config)
+        reference = None
+        for frame in sequence.frames[:3]:
+            ef = encoder.encode_frame(frame)
+            payloads = [p.payload for p in packetizer.packetize(ef)]
+            result = decoder.decode_frame(payloads, reference, frame.index)
+            reference = result.frame
+        mb = codec_config.mb_count
+        assert decoder.counters.idct_blocks == 3 * 4 * mb
+        assert decoder.counters.dequant_blocks == 3 * 4 * mb
+        assert decoder.counters.mode_decisions == 3 * mb
+        assert decoder.counters.entropy_bits > 0
+        # Frame 0 is all intra: MC only happens for inter macroblocks.
+        assert decoder.counters.mc_blocks < 3 * mb
+
+    def test_no_work_when_nothing_arrives(self, codec_config):
+        decoder = Decoder(codec_config)
+        decoder.decode_frame([], None)
+        assert decoder.counters.total_operations() == 0
+
+    def test_decoder_has_no_me_cost(self, codec_config, sequence):
+        encoder = Encoder(codec_config, NoResilience())
+        packetizer = Packetizer(codec_config)
+        decoder = Decoder(codec_config)
+        reference = None
+        for frame in sequence.frames[:3]:
+            ef = encoder.encode_frame(frame)
+            payloads = [p.payload for p in packetizer.packetize(ef)]
+            reference = decoder.decode_frame(
+                payloads, reference, frame.index
+            ).frame
+        assert decoder.counters.sad_blocks == 0
+
+
+class TestSimulationDecoderEnergy:
+    def test_decoder_energy_reported(self, sequence, codec_config):
+        result = simulate(
+            sequence,
+            NoResilience(),
+            NoLoss(),
+            SimulationConfig(codec=codec_config),
+        )
+        assert result.decoder_energy is not None
+        assert 0 < result.decoder_energy_joules < result.energy_joules
+
+    def test_loss_reduces_decode_work(self, codec_config):
+        clip = small_sequence(n_frames=8)
+        config = SimulationConfig(codec=codec_config)
+        full = simulate(clip, NoResilience(), NoLoss(), config)
+        lossy = simulate(
+            clip, NoResilience(), ScriptedLoss([2, 4, 6]), config
+        )
+        assert lossy.decoder_energy_joules < full.decoder_energy_joules

@@ -1,0 +1,144 @@
+"""Unit tests for the experiment harness and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.loss import UniformLoss
+from repro.sim.experiment import (
+    ExperimentSpec,
+    comparison_specs,
+    match_intra_th_to_size,
+    run_experiment,
+    sweep,
+    total_encoded_bytes,
+)
+from repro.sim.pipeline import SimulationConfig
+from repro.sim.report import format_series, format_table
+from repro.resilience.none import NoResilience
+from repro.resilience.registry import build_strategy
+
+from tests.conftest import small_config, small_sequence
+
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(codec=small_config())
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return small_sequence(n_frames=8)
+
+
+class TestRunExperiment:
+    def test_runs_and_labels(self, clip, sim_config):
+        spec = ExperimentSpec(
+            label="NO", strategy_factory=NoResilience
+        )
+        out = run_experiment(clip, spec, sim_config)
+        assert out.label == "NO"
+        assert out.result.n_frames == len(clip)
+
+    def test_sweep_order_preserved(self, clip, sim_config):
+        specs = comparison_specs(["NO", "GOP-2"], None)
+        results = sweep(clip, specs, sim_config)
+        assert [r.label for r in results] == ["NO", "GOP-2"]
+
+    def test_loss_factory_used(self, clip, sim_config):
+        spec = ExperimentSpec(
+            label="lossy",
+            strategy_factory=NoResilience,
+            loss_factory=lambda: UniformLoss(plr=0.5, seed=2),
+        )
+        out = run_experiment(clip, spec, sim_config)
+        assert out.result.channel_log.loss_rate > 0
+
+
+class TestComparisonSpecs:
+    def test_pbpair_kwargs_applied(self, clip, sim_config):
+        specs = comparison_specs(
+            ["PBPAIR"], None, pbpair_kwargs=dict(intra_th=0.77, plr=0.3)
+        )
+        strategy = specs[0].strategy_factory()
+        assert strategy.config.intra_th == 0.77
+
+    def test_factories_produce_fresh_instances(self):
+        specs = comparison_specs(["GOP-2"], None)
+        a = specs[0].strategy_factory()
+        b = specs[0].strategy_factory()
+        assert a is not b
+
+
+class TestSizeMatching:
+    def test_size_monotone_in_threshold(self, clip, sim_config):
+        sizes = [
+            total_encoded_bytes(
+                clip, build_strategy("PBPAIR", intra_th=th, plr=0.3), sim_config
+            )
+            for th in (0.2, 0.9, 1.0)
+        ]
+        assert sizes[0] < sizes[-1]
+
+    def test_match_finds_reasonable_threshold(self, clip, sim_config):
+        target = total_encoded_bytes(clip, build_strategy("GOP-3"), sim_config)
+        th = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=6
+        )
+        matched = total_encoded_bytes(
+            clip, build_strategy("PBPAIR", intra_th=th, plr=0.3), sim_config
+        )
+        assert abs(matched - target) / target < 0.35
+
+    def test_validation(self, clip, sim_config):
+        with pytest.raises(ValueError):
+            match_intra_th_to_size(clip, 0, plr=0.1)
+        with pytest.raises(ValueError):
+            match_intra_th_to_size(clip, 100, plr=0.1, tolerance=0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["scheme", "psnr"],
+            [["NO", 31.234], ["PBPAIR", 33.5]],
+            title="Fig 5(a)",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 5(a)"
+        assert "scheme" in lines[1] and "psnr" in lines[1]
+        assert "31.23" in out and "33.50" in out
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        out = format_series("PSNR", [30.0, 31.5], precision=1)
+        assert out == "PSNR: 30.0 31.5"
+
+
+class TestCSV:
+    def test_basic_csv(self):
+        from repro.sim.report import format_csv
+
+        out = format_csv(["a", "b"], [[1, 2.5], ["x", 3]])
+        assert out == "a,b\n1,2.5\nx,3\n"
+
+    def test_quoting(self):
+        from repro.sim.report import format_csv
+
+        out = format_csv(["name"], [['say "hi", ok']])
+        assert out.splitlines()[1] == '"say ""hi"", ok"'
+
+    def test_float_precision_preserved(self):
+        from repro.sim.report import format_csv
+
+        out = format_csv(["v"], [[1.23456789012345]])
+        assert "1.23456789012345" in out
+
+    def test_ragged_rejected(self):
+        from repro.sim.report import format_csv
+
+        with pytest.raises(ValueError):
+            format_csv(["a", "b"], [[1]])

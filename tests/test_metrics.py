@@ -1,0 +1,121 @@
+"""Unit tests for PSNR, bad pixels and bitrate statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.bad_pixels import (
+    bad_pixel_count,
+    bad_pixel_map,
+    sequence_bad_pixels,
+)
+from repro.metrics.bitrate import FrameSizeStats, bitrate_kbps, frame_size_stats
+from repro.metrics.psnr import average_psnr, mse, psnr, sequence_psnr
+
+
+class TestPSNR:
+    def test_identical_frames_infinite(self):
+        frame = np.full((16, 16), 100, dtype=np.uint8)
+        assert psnr(frame, frame) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2.0)
+        assert mse(a, b) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((4, 8)))
+
+    def test_monotone_in_error(self, rng):
+        original = rng.integers(0, 256, (16, 16)).astype(np.int64)
+        small = np.clip(original + 2, 0, 255)
+        large = np.clip(original + 20, 0, 255)
+        assert psnr(original, small) > psnr(original, large)
+
+    def test_sequence_psnr(self, rng):
+        frames = [rng.integers(0, 256, (16, 16)) for _ in range(3)]
+        out = sequence_psnr(frames, frames)
+        assert out == [float("inf")] * 3
+        with pytest.raises(ValueError):
+            sequence_psnr(frames, frames[:2])
+
+    def test_average_psnr_caps_infinities(self):
+        assert average_psnr([float("inf"), 40.0], cap=60.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            average_psnr([])
+
+
+class TestBadPixels:
+    def test_no_difference_no_bad_pixels(self):
+        frame = np.full((16, 16), 50, dtype=np.uint8)
+        assert bad_pixel_count(frame, frame) == 0
+
+    def test_threshold_boundary(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 25, dtype=np.uint8)
+        assert bad_pixel_count(a, b, threshold=25) == 0
+        b = np.full((4, 4), 26, dtype=np.uint8)
+        assert bad_pixel_count(a, b, threshold=25) == 16
+
+    def test_map_matches_count(self, rng):
+        a = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        b = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        assert bad_pixel_map(a, b).sum() == bad_pixel_count(a, b)
+
+    def test_sequence_accumulates(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 200, dtype=np.uint8)
+        assert sequence_bad_pixels([a, a], [b, b]) == 32
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            bad_pixel_count(np.zeros((4, 4)), np.zeros((4, 4)), threshold=-1)
+
+    @given(st.integers(0, 254))
+    def test_count_monotone_in_threshold(self, threshold):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        b = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        assert bad_pixel_count(a, b, threshold) >= bad_pixel_count(
+            a, b, threshold + 1
+        )
+
+
+class TestBitrate:
+    def test_stats(self):
+        stats = frame_size_stats([100, 200, 300])
+        assert stats.total_bytes == 600
+        assert stats.mean_bytes == pytest.approx(200)
+        assert stats.max_bytes == 300 and stats.min_bytes == 100
+
+    def test_smooth_stream_zero_cv(self):
+        stats = frame_size_stats([500] * 10)
+        assert stats.coefficient_of_variation == 0.0
+        assert stats.peak_to_mean == pytest.approx(1.0)
+
+    def test_spiky_stream_high_peak_to_mean(self):
+        smooth = frame_size_stats([500] * 9 + [500])
+        spiky = frame_size_stats([100] * 9 + [4100])
+        assert spiky.peak_to_mean > smooth.peak_to_mean
+
+    def test_bitrate_kbps(self):
+        # 30 frames of 1000 bytes at 30 fps = 8000 bits in 1 s = 240 kbps.
+        assert bitrate_kbps([1000] * 30, fps=30) == pytest.approx(240.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_size_stats([])
+        with pytest.raises(ValueError):
+            frame_size_stats([-1])
+        with pytest.raises(ValueError):
+            bitrate_kbps([100], fps=0)
+        with pytest.raises(ValueError):
+            bitrate_kbps([], fps=30)

@@ -1,0 +1,275 @@
+"""Unit tests for packetization, loss models and the channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.encoder import Encoder
+from repro.network.channel import Channel
+from repro.network.loss import (
+    GilbertElliottLoss,
+    NoLoss,
+    ScriptedLoss,
+    UniformLoss,
+)
+from repro.network.packet import (
+    DEFAULT_MTU,
+    Depacketizer,
+    Packet,
+    Packetizer,
+    TRANSPORT_HEADER_BYTES,
+)
+from repro.resilience.none import NoResilience
+
+from tests.conftest import small_config, small_sequence
+
+
+@pytest.fixture(scope="module")
+def encoded_frames():
+    config = small_config()
+    encoder = Encoder(config, NoResilience())
+    return config, encoder.encode_sequence(small_sequence(n_frames=5))
+
+
+def _packet(seq=0, frame=0):
+    return Packet(
+        sequence_number=seq,
+        frame_index=frame,
+        fragment_index=0,
+        fragments_in_frame=1,
+        payload=b"x" * 50,
+    )
+
+
+class TestPacketizer:
+    def test_single_packet_when_under_mtu(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config, mtu=DEFAULT_MTU)
+        for ef in frames:
+            if ef.size_bytes < DEFAULT_MTU - 100:
+                packets = packetizer.packetize(ef)
+                assert len(packets) == max(1, len(packets))
+                if ef.size_bytes < 1000:
+                    assert len(packets) == 1
+
+    def test_fragments_respect_mtu(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config, mtu=200)
+        for ef in frames:
+            for packet in packetizer.packetize(ef):
+                assert packet.size_bytes <= 200
+
+    def test_fragments_cover_all_macroblocks(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config, mtu=150)
+        from repro.codec.bitstream import BitReader
+        from repro.codec.syntax import read_fragment_header
+
+        for ef in frames:
+            covered = []
+            for packet in packetizer.packetize(ef):
+                header = read_fragment_header(BitReader(packet.payload))
+                covered.extend(
+                    range(header.first_mb, header.first_mb + header.mb_count)
+                )
+            assert covered == list(range(config.mb_count))
+
+    def test_sequence_numbers_monotone(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config, mtu=300)
+        packets = packetizer.packetize_sequence(frames)
+        numbers = [p.sequence_number for p in packets]
+        assert numbers == list(range(len(numbers)))
+
+    def test_fragment_metadata(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config, mtu=150)
+        packets = packetizer.packetize(frames[0])
+        assert all(p.fragments_in_frame == len(packets) for p in packets)
+        assert [p.fragment_index for p in packets] == list(range(len(packets)))
+
+    def test_tiny_mtu_rejected(self, encoded_frames):
+        config, _ = encoded_frames
+        with pytest.raises(ValueError):
+            Packetizer(config, mtu=10)
+
+    def test_reset_restarts_sequence(self, encoded_frames):
+        config, frames = encoded_frames
+        packetizer = Packetizer(config)
+        packetizer.packetize(frames[0])
+        packetizer.reset()
+        packets = packetizer.packetize(frames[0])
+        assert packets[0].sequence_number == 0
+
+
+class TestDepacketizer:
+    def test_groups_by_frame(self):
+        packets = [_packet(0, 0), _packet(1, 2), _packet(2, 2)]
+        groups = Depacketizer().group_by_frame(packets, 3)
+        assert len(groups[0]) == 1
+        assert len(groups[1]) == 0
+        assert len(groups[2]) == 2
+
+    def test_orders_fragments_within_frame(self):
+        a = Packet(0, 0, 1, 2, b"second")
+        b = Packet(1, 0, 0, 2, b"first")
+        groups = Depacketizer().group_by_frame([a, b], 1)
+        assert groups[0] == [b"first", b"second"]
+
+    def test_ignores_out_of_range_frames(self):
+        groups = Depacketizer().group_by_frame([_packet(0, 99)], 3)
+        assert all(not g for g in groups)
+
+
+class TestUniformLoss:
+    def test_zero_plr_drops_nothing(self):
+        model = UniformLoss(plr=0.0)
+        assert all(model.survives(_packet(i, i)) for i in range(100))
+
+    def test_frame_rate_statistically_matches(self):
+        model = UniformLoss(plr=0.3, seed=42, protect_first_frame=False)
+        outcomes = [model.survives(_packet(i, i)) for i in range(4000)]
+        loss_rate = 1 - sum(outcomes) / len(outcomes)
+        assert abs(loss_rate - 0.3) < 0.03
+
+    def test_packet_rate_statistically_matches(self):
+        model = UniformLoss(
+            plr=0.3, seed=42, protect_first_frame=False, granularity="packet"
+        )
+        outcomes = [model.survives(_packet(i, 1)) for i in range(4000)]
+        loss_rate = 1 - sum(outcomes) / len(outcomes)
+        assert abs(loss_rate - 0.3) < 0.03
+
+    def test_frame_granularity_all_fragments_share_fate(self):
+        model = UniformLoss(plr=0.5, seed=1, protect_first_frame=False)
+        for frame in range(50):
+            outcomes = {
+                model.survives(Packet(i, frame, i, 3, b"")) for i in range(3)
+            }
+            assert len(outcomes) == 1
+
+    def test_frame_granularity_order_independent(self):
+        model = UniformLoss(plr=0.5, seed=4, protect_first_frame=False)
+        forward = [model.survives(_packet(i, i)) for i in range(50)]
+        model.reset()
+        backward = [
+            model.survives(_packet(i, i)) for i in reversed(range(50))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_reproducible_with_seed(self):
+        a = UniformLoss(plr=0.5, seed=9)
+        b = UniformLoss(plr=0.5, seed=9)
+        pa = [a.survives(_packet(i, i)) for i in range(200)]
+        pb = [b.survives(_packet(i, i)) for i in range(200)]
+        assert pa == pb
+
+    def test_reset_replays_packet_mode(self):
+        model = UniformLoss(plr=0.5, seed=3, granularity="packet")
+        first = [model.survives(_packet(i, 1)) for i in range(100)]
+        model.reset()
+        second = [model.survives(_packet(i, 1)) for i in range(100)]
+        assert first == second
+
+    def test_first_frame_protected(self):
+        model = UniformLoss(plr=1.0, seed=0, protect_first_frame=True)
+        assert model.survives(_packet(0, 0))
+        assert not model.survives(_packet(1, 1))
+
+    def test_rejects_bad_plr(self):
+        with pytest.raises(ValueError):
+            UniformLoss(plr=1.5)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            UniformLoss(plr=0.1, granularity="bit")
+
+
+class TestScriptedLoss:
+    def test_drops_exactly_listed_frames(self):
+        model = ScriptedLoss([2, 5])
+        for frame in range(8):
+            survived = model.survives(_packet(0, frame))
+            assert survived == (frame not in (2, 5))
+
+    def test_all_fragments_of_lost_frame_dropped(self):
+        model = ScriptedLoss([3])
+        assert not model.survives(Packet(0, 3, 0, 2, b""))
+        assert not model.survives(Packet(1, 3, 1, 2, b""))
+
+    def test_rejects_negative_frames(self):
+        with pytest.raises(ValueError):
+            ScriptedLoss([-1])
+
+
+class TestGilbertElliott:
+    def test_steady_state_rate(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.4,
+            seed=7,
+            protect_first_frame=False,
+        )
+        expected = model.steady_state_loss_rate
+        outcomes = [model.survives(_packet(i, 1)) for i in range(8000)]
+        measured = 1 - sum(outcomes) / len(outcomes)
+        assert abs(measured - expected) < 0.03
+
+    def test_losses_are_bursty(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.02,
+            p_bad_to_good=0.3,
+            seed=11,
+            protect_first_frame=False,
+        )
+        outcomes = [model.survives(_packet(i, 1)) for i in range(5000)]
+        # Mean burst length of losses must exceed i.i.d. expectation.
+        bursts, current = [], 0
+        for ok in outcomes:
+            if not ok:
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        assert bursts and np.mean(bursts) > 1.5
+
+    def test_reset(self):
+        model = GilbertElliottLoss(0.1, 0.4, seed=5, protect_first_frame=False)
+        first = [model.survives(_packet(i, 1)) for i in range(100)]
+        model.reset()
+        second = [model.survives(_packet(i, 1)) for i in range(100)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.5)
+
+
+class TestChannel:
+    def test_lossless_channel_delivers_everything(self):
+        channel = Channel(NoLoss())
+        packets = [_packet(i, i) for i in range(10)]
+        assert channel.transmit(packets) == packets
+        assert channel.log.loss_rate == 0.0
+        assert channel.log.bytes_sent == channel.log.bytes_delivered
+
+    def test_log_tracks_losses(self):
+        channel = Channel(ScriptedLoss([1]))
+        packets = [_packet(0, 0), _packet(1, 1), _packet(2, 2)]
+        delivered = channel.transmit(packets)
+        assert len(delivered) == 2
+        assert channel.log.lost_packets == [1]
+        assert channel.log.lost_frames == {1}
+        assert channel.log.loss_rate == pytest.approx(1 / 3)
+
+    def test_byte_accounting_includes_transport_header(self):
+        channel = Channel(NoLoss())
+        channel.transmit([_packet()])
+        assert channel.log.bytes_sent == 50 + TRANSPORT_HEADER_BYTES
+
+    def test_reset(self):
+        channel = Channel(ScriptedLoss([0]))
+        channel.transmit([_packet(0, 0)])
+        channel.reset()
+        assert channel.log.sent == 0

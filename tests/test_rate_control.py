@@ -1,0 +1,147 @@
+"""Unit and integration tests for frame-level rate control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.encoder import Encoder
+from repro.codec.rate import RateController
+from repro.network.loss import NoLoss
+from repro.network.packet import Packetizer
+from repro.codec.decoder import Decoder
+from repro.resilience.none import NoResilience
+from repro.resilience.pbpair_strategy import PBPAIRStrategy
+from repro.core.pbpair import PBPAIRConfig
+from repro.sim.pipeline import SimulationConfig, simulate
+
+from tests.conftest import small_config, small_sequence
+
+
+class TestRateControllerUnit:
+    def test_starts_at_base_qp(self):
+        controller = RateController(10000, base_qp=8)
+        assert controller.quantizer == 8
+        assert controller.buffer_bits == 0.0
+
+    def test_overshoot_coarsens_qp(self):
+        controller = RateController(10000, base_qp=8, sensitivity=2.0)
+        controller.observe(30000)  # 2 target-frames of overshoot
+        assert controller.quantizer == 12
+
+    def test_on_target_is_stationary(self):
+        controller = RateController(10000, base_qp=8)
+        for _ in range(10):
+            controller.observe(10000)
+        assert controller.quantizer == 8
+
+    def test_undershoot_refines_qp(self):
+        controller = RateController(10000, base_qp=8, sensitivity=2.0)
+        controller.observe(0)  # one banked target frame
+        assert controller.quantizer == 6
+
+    def test_banked_savings_bounded(self):
+        controller = RateController(10000, base_qp=8)
+        for _ in range(20):
+            controller.observe(0)
+        assert controller.buffer_bits == pytest.approx(
+            -RateController.MAX_BANKED_FRAMES * 10000
+        )
+        assert controller.quantizer >= controller.min_qp
+
+    def test_qp_clamped(self):
+        controller = RateController(100, base_qp=8, max_qp=12)
+        controller.observe(100000)
+        assert controller.quantizer == 12
+
+    def test_reset(self):
+        controller = RateController(10000, base_qp=8)
+        controller.observe(50000)
+        controller.reset()
+        assert controller.quantizer == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateController(0)
+        with pytest.raises(ValueError):
+            RateController(1000, base_qp=0)
+        with pytest.raises(ValueError):
+            RateController(1000, sensitivity=0)
+        controller = RateController(1000)
+        with pytest.raises(ValueError):
+            controller.observe(-1)
+
+
+class TestEncoderQPPlumbing:
+    def test_per_frame_qp_recorded(self, sequence, codec_config):
+        encoder = Encoder(codec_config, NoResilience())
+        encoder.quantizer = 4
+        first = encoder.encode_frame(sequence[0])
+        encoder.quantizer = 12
+        second = encoder.encode_frame(sequence[1])
+        assert first.qp == 4 and second.qp == 12
+
+    def test_invalid_qp_rejected(self, sequence, codec_config):
+        encoder = Encoder(codec_config, NoResilience())
+        encoder.quantizer = 0
+        with pytest.raises(ValueError):
+            encoder.encode_frame(sequence[0])
+
+    def test_reset_restores_config_qp(self, sequence, codec_config):
+        encoder = Encoder(codec_config, NoResilience())
+        encoder.quantizer = 20
+        encoder.reset()
+        assert encoder.quantizer == codec_config.quantizer
+
+    def test_coarser_qp_means_fewer_bits(self, sequence, codec_config):
+        fine = Encoder(codec_config, NoResilience())
+        fine.quantizer = 3
+        coarse = Encoder(codec_config, NoResilience())
+        coarse.quantizer = 20
+        assert (
+            coarse.encode_frame(sequence[0]).size_bytes
+            < fine.encode_frame(sequence[0]).size_bytes
+        )
+
+    def test_decoder_follows_varying_qp(self, sequence, codec_config):
+        encoder = Encoder(codec_config, NoResilience())
+        packetizer = Packetizer(codec_config)
+        decoder = Decoder(codec_config)
+        reference = None
+        for qp, frame in zip((4, 14, 7, 22), sequence):
+            encoder.quantizer = qp
+            ef = encoder.encode_frame(frame)
+            payloads = [p.payload for p in packetizer.packetize(ef)]
+            result = decoder.decode_frame(payloads, reference, frame.index)
+            assert result.received.all()
+            np.testing.assert_array_equal(result.frame, ef.reconstruction)
+            reference = result.frame
+
+
+class TestRateControlledSimulation:
+    def test_tracks_target_rate(self, codec_config):
+        clip = small_sequence(n_frames=16)
+        target_bits = 4000
+        controller = RateController(target_bits, base_qp=6)
+        result = simulate(
+            clip,
+            NoResilience(),
+            NoLoss(),
+            SimulationConfig(codec=codec_config),
+            rate_controller=controller,
+        )
+        steady = [r.size_bytes * 8 for r in result.frames[4:]]
+        assert abs(np.mean(steady) - target_bits) / target_bits < 0.5
+
+    def test_compatible_with_pbpair(self, codec_config):
+        clip = small_sequence(n_frames=12)
+        controller = RateController(10000, base_qp=6)
+        result = simulate(
+            clip,
+            PBPAIRStrategy(PBPAIRConfig(intra_th=0.9, plr=0.2)),
+            NoLoss(),
+            SimulationConfig(codec=codec_config),
+            rate_controller=controller,
+        )
+        assert result.n_frames == len(clip)
+        assert result.intra_fraction > 0.05  # PBPAIR still refreshing

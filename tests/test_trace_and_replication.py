@@ -1,0 +1,107 @@
+"""Tests for trace-driven loss and multi-seed replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.loss import TraceLoss, UniformLoss
+from repro.network.packet import Packet
+from repro.resilience.none import NoResilience
+from repro.sim.experiment import ReplicationSummary, replicate
+from repro.sim.pipeline import SimulationConfig, simulate
+
+from tests.conftest import small_config, small_sequence
+
+
+def _packet(frame):
+    return Packet(0, frame, 0, 1, b"")
+
+
+class TestTraceLoss:
+    def test_replays_trace(self):
+        model = TraceLoss([True, False, True, False])
+        outcomes = [model.survives(_packet(i)) for i in range(4)]
+        assert outcomes == [True, False, True, False]
+
+    def test_beyond_trace_uses_default(self):
+        model = TraceLoss([False], default_survives=True)
+        assert model.survives(_packet(5))
+        model = TraceLoss([False], default_survives=False)
+        assert not model.survives(_packet(5))
+
+    def test_from_pattern(self):
+        model = TraceLoss.from_loss_rate_pattern("..x.x")
+        assert [model.survives(_packet(i)) for i in range(5)] == [
+            True,
+            True,
+            False,
+            True,
+            False,
+        ]
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            TraceLoss.from_loss_rate_pattern("")
+        with pytest.raises(ValueError):
+            TraceLoss.from_loss_rate_pattern("..?")
+
+    def test_in_simulation(self):
+        clip = small_sequence(n_frames=6)
+        model = TraceLoss.from_loss_rate_pattern("...x..")
+        result = simulate(
+            clip,
+            NoResilience(),
+            model,
+            SimulationConfig(codec=small_config()),
+        )
+        lost = [r.frame_index for r in result.frames if r.packets_lost > 0]
+        assert lost == [3]
+
+
+class TestReplication:
+    def test_summary_statistics(self):
+        summary = ReplicationSummary("x", (1, 2, 3), (1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_replicate_runs_each_seed(self):
+        clip = small_sequence(n_frames=6)
+        summary = replicate(
+            clip,
+            strategy_factory=NoResilience,
+            loss_factory=lambda seed: UniformLoss(plr=0.3, seed=seed),
+            metric=lambda r: r.average_psnr_decoder,
+            seeds=(1, 2, 3),
+            label="NO",
+            config=SimulationConfig(codec=small_config()),
+        )
+        assert summary.label == "NO"
+        assert len(summary.values) == 3
+        # Different seeds hit different frames: values spread.
+        assert summary.std > 0
+
+    def test_replicate_needs_seeds(self):
+        clip = small_sequence(n_frames=4)
+        with pytest.raises(ValueError):
+            replicate(
+                clip,
+                NoResilience,
+                lambda seed: UniformLoss(plr=0.1, seed=seed),
+                lambda r: 0.0,
+                seeds=(),
+            )
+
+    def test_deterministic_given_seeds(self):
+        clip = small_sequence(n_frames=6)
+
+        def run():
+            return replicate(
+                clip,
+                NoResilience,
+                lambda seed: UniformLoss(plr=0.3, seed=seed),
+                lambda r: r.total_bad_pixels,
+                seeds=(7, 8),
+                config=SimulationConfig(codec=small_config()),
+            )
+
+        assert run().values == run().values

@@ -1,0 +1,49 @@
+"""Unit tests for the zigzag scan."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.zigzag import inverse_zigzag_order, zigzag_order
+
+
+class TestZigzagOrder:
+    def test_is_a_permutation(self):
+        order = zigzag_order()
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_starts_with_standard_prefix(self):
+        # The canonical JPEG/H.263 scan begins DC, right, down-left, ...
+        expected_prefix = [0, 1, 8, 16, 9, 2, 3, 10, 17, 24]
+        assert zigzag_order()[:10].tolist() == expected_prefix
+
+    def test_ends_at_highest_frequency(self):
+        assert zigzag_order()[-1] == 63
+
+    def test_inverse_inverts(self):
+        flat = np.arange(64)
+        scanned = flat[zigzag_order()]
+        restored = scanned[inverse_zigzag_order()]
+        np.testing.assert_array_equal(restored, flat)
+
+    def test_neighbouring_entries_are_adjacent_cells(self):
+        # Each step in the scan moves to a touching cell (8-neighbourhood).
+        order = zigzag_order()
+        rows, cols = order // 8, order % 8
+        dr = np.abs(np.diff(rows))
+        dc = np.abs(np.diff(cols))
+        assert (np.maximum(dr, dc) <= 2).all()
+
+    def test_orders_by_diagonal(self):
+        # Zigzag visits anti-diagonals in nondecreasing order.
+        order = zigzag_order()
+        diagonals = order // 8 + order % 8
+        assert (np.diff(diagonals) >= 0).sum() >= 49  # monotone per diagonal
+
+    def test_arrays_are_readonly(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            zigzag_order()[0] = 5
+        with pytest.raises(ValueError):
+            inverse_zigzag_order()[0] = 5
