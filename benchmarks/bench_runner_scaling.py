@@ -1,0 +1,183 @@
+"""Serial-vs-parallel scaling of the experiment runner.
+
+The grid engine's value proposition is wall time: the paper's figures
+are (scheme x PLR x seed) grids of independent simulations, and
+:func:`repro.sim.runner.run_grid` should approach linear speedup in the
+worker count on multi-core hosts.  This benchmark measures exactly
+that — the same multi-seed grid at several worker counts, plus a fully
+cached pass — and emits a JSON record so later PRs can track scaling
+regressions (the committed baseline lives in ``BENCH_runner.json``).
+
+Two entry points:
+
+* ``python benchmarks/bench_runner_scaling.py [--out BENCH_runner.json]``
+  runs the full measurement standalone and writes/prints the JSON.
+* Under pytest the module contributes a quick correctness check
+  (parallel outcomes identical to serial) on a reduced grid; wall-time
+  assertions are deliberately absent because CI containers may expose
+  a single core, where pool overhead makes parallel *slower*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+from repro.sim.pipeline import SimulationConfig
+from repro.sim.runner import (
+    JobSpec,
+    ResultCache,
+    build_grid,
+    run_grid,
+)
+
+#: Worker counts measured by the standalone run (1 is the serial base).
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+#: Replication grid: every scheme at every channel seed, one PLR.
+DEFAULT_SCHEMES = ("NO", "GOP-3", "PGOP-3", "PBPAIR")
+DEFAULT_SEEDS = (1, 2, 3, 4)
+DEFAULT_FRAMES = 24
+PLR = 0.1
+
+
+def scaling_grid(
+    n_frames: int = DEFAULT_FRAMES,
+    schemes=DEFAULT_SCHEMES,
+    seeds=DEFAULT_SEEDS,
+) -> list[JobSpec]:
+    return build_grid(
+        schemes=schemes,
+        plrs=(PLR,),
+        channel_seeds=seeds,
+        sequences=("akiyo",),
+        n_frames=n_frames,
+        config=SimulationConfig(),
+        pbpair_kwargs={"intra_th": 0.9},
+    )
+
+
+def _timed_run(jobs, max_workers, cache=None) -> tuple[float, list]:
+    start = time.perf_counter()
+    outcomes = run_grid(jobs, max_workers=max_workers, cache=cache)
+    elapsed = time.perf_counter() - start
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} grid cells failed: "
+            f"{failures[0].error_type}: {failures[0].message}"
+        )
+    return elapsed, outcomes
+
+
+def measure(
+    n_frames: int = DEFAULT_FRAMES,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    schemes=DEFAULT_SCHEMES,
+    seeds=DEFAULT_SEEDS,
+) -> dict:
+    """Time the same grid at each worker count, then fully cached."""
+    jobs = scaling_grid(n_frames=n_frames, schemes=schemes, seeds=seeds)
+    timings: dict[str, float] = {}
+    reference = None
+    for workers in worker_counts:
+        elapsed, outcomes = _timed_run(jobs, max_workers=workers)
+        timings[str(workers)] = round(elapsed, 3)
+        metrics = [o.result.average_psnr_decoder for o in outcomes]
+        if reference is None:
+            reference = metrics
+        elif metrics != reference:
+            raise RuntimeError(
+                f"worker count {workers} changed results — the runner "
+                "must be deterministic at any parallelism"
+            )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        _timed_run(jobs, max_workers=1, cache=cache)  # populate
+        cached_s, _ = _timed_run(jobs, max_workers=1, cache=cache)
+
+    serial_s = timings[str(worker_counts[0])]
+    return {
+        "benchmark": "runner_scaling",
+        "grid": {
+            "schemes": list(schemes),
+            "channel_seeds": list(seeds),
+            "plr": PLR,
+            "sequence": "akiyo",
+            "n_frames": n_frames,
+            "cells": len(jobs),
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "wall_time_s": timings,
+        "speedup_vs_serial": {
+            workers: round(serial_s / elapsed, 3) if elapsed else None
+            for workers, elapsed in timings.items()
+        },
+        "cached_pass_s": round(cached_s, 3),
+        "cache_speedup": round(serial_s / cached_s, 1) if cached_s else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure serial-vs-parallel runner scaling"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON record to this path"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=DEFAULT_FRAMES, help="frames per cell"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_COUNTS),
+        help="worker counts to measure (first one is the serial baseline)",
+    )
+    args = parser.parse_args(argv)
+    record = measure(n_frames=args.frames, worker_counts=tuple(args.workers))
+    rendered = json.dumps(record, indent=2)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+# --- pytest entry point ----------------------------------------------------
+
+
+def test_parallel_grid_matches_serial_on_reduced_grid():
+    """Determinism across worker counts, on a grid small enough for CI."""
+    jobs = scaling_grid(n_frames=4, schemes=("NO", "PBPAIR"), seeds=(1, 2))
+    serial_s, serial = _timed_run(jobs, max_workers=1)
+    parallel_s, parallel = _timed_run(jobs, max_workers=2)
+    for s, p in zip(serial, parallel):
+        assert s.result.frames == p.result.frames
+        assert s.result.counters == p.result.counters
+    assert serial_s > 0 and parallel_s > 0
+
+
+def test_cached_pass_returns_identical_results(tmp_path):
+    jobs = scaling_grid(n_frames=4, schemes=("NO",), seeds=(1, 2))
+    cache = ResultCache(tmp_path)
+    _, cold = _timed_run(jobs, max_workers=1, cache=cache)
+    _, warm = _timed_run(jobs, max_workers=1, cache=cache)
+    assert all(o.from_cache for o in warm)
+    for a, b in zip(cold, warm):
+        assert a.result.frames == b.result.frames
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,13 @@ from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
 from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
 from repro.sim.pipeline import SimulationConfig, simulate
 from repro.sim.report import format_table
+from repro.sim.runner import (
+    DEFAULT_CACHE_DIR,
+    JobFailure,
+    JobSpec,
+    ResultCache,
+    run_grid,
+)
 from repro.video.synthetic import SEQUENCE_GENERATORS
 
 
@@ -49,6 +56,60 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="ipaq",
         help="energy profile (default: ipaq)",
     )
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid; 0 = all cores "
+        "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of using the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _runner_setup(args: argparse.Namespace):
+    """(max_workers, cache) from the runner options."""
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0")
+    max_workers = None if args.jobs == 0 else args.jobs
+    if args.no_cache:
+        return max_workers, None
+    try:
+        cache = ResultCache(args.cache_dir)
+    except (FileExistsError, NotADirectoryError):
+        raise SystemExit(
+            f"--cache-dir {args.cache_dir!r} exists and is not a directory"
+        )
+    return max_workers, cache
+
+
+def _grid_results(jobs, max_workers, cache):
+    """Run a grid and unwrap it, aborting loudly on any failed cell."""
+    outcomes = run_grid(jobs, max_workers=max_workers, cache=cache)
+    failures = [o for o in outcomes if isinstance(o, JobFailure)]
+    for failure in failures:
+        print(
+            f"job {failure.spec.scheme} (PLR={failure.spec.plr}, "
+            f"seed={failure.spec.channel_seed}) failed: "
+            f"{failure.error_type}: {failure.message}",
+            file=sys.stderr,
+        )
+        if failure.traceback_text:
+            print(failure.traceback_text, file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+    return [o.result for o in outcomes]
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
@@ -91,24 +152,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    print(f"Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
+    max_workers, cache = _runner_setup(args)
+    print("Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
           file=sys.stderr)
     target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
     intra_th = match_intra_th_to_size(
-        video, target, plr=args.plr, config=config, max_iterations=8
+        video, target, plr=args.plr, config=config, max_iterations=8,
+        cache=cache,
     )
-    rows = []
-    for spec in ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24"):
-        if spec == "PBPAIR":
-            strategy = build_strategy(spec, intra_th=intra_th, plr=args.plr)
-        else:
-            strategy = build_strategy(spec)
-        result = simulate(
-            video,
-            strategy,
-            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+    schemes = ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24")
+    jobs = [
+        JobSpec(
+            scheme=spec,
+            plr=args.plr,
+            channel_seed=args.seed,
+            sequence=args.sequence,
+            n_frames=args.frames,
             config=config,
+            pbpair_kwargs={"intra_th": intra_th},
         )
+        for spec in schemes
+    ]
+    rows = []
+    for spec, result in zip(schemes, _grid_results(jobs, max_workers, cache)):
         rows.append(
             [
                 spec,
@@ -135,15 +201,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    rows = []
-    for th in (0.0, 0.5, 0.8, 0.9, 0.95, 1.0):
-        strategy = build_strategy("PBPAIR", intra_th=th, plr=args.plr)
-        result = simulate(
-            video,
-            strategy,
-            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+    max_workers, cache = _runner_setup(args)
+    thresholds = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
+    jobs = [
+        JobSpec(
+            scheme="PBPAIR",
+            plr=args.plr,
+            channel_seed=args.seed,
+            sequence=args.sequence,
+            n_frames=args.frames,
             config=config,
+            pbpair_kwargs={"intra_th": th},
         )
+        for th in thresholds
+    ]
+    rows = []
+    for th, result in zip(
+        thresholds, _grid_results(jobs, max_workers, cache)
+    ):
         rows.append(
             [
                 th,
@@ -236,12 +311,14 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="Figure-5 style scheme comparison"
     )
     _add_common(compare)
+    _add_runner_options(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     sweep = commands.add_parser(
         "sweep", help="Section-4.3 operating-point sweep"
     )
     _add_common(sweep)
+    _add_runner_options(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     sigma = commands.add_parser(

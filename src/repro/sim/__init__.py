@@ -3,8 +3,9 @@
 :func:`repro.sim.pipeline.simulate` wires the whole Figure-1 system
 together and returns a :class:`repro.sim.pipeline.SimulationResult` with
 everything the paper's figures plot; :mod:`repro.sim.experiment` runs
-parameter sweeps over schemes/sequences/channels; :mod:`repro.sim.report`
-prints figure-shaped tables.
+parameter sweeps over schemes/sequences/channels; :mod:`repro.sim.runner`
+fans declarative job grids across a process pool with on-disk result
+caching; :mod:`repro.sim.report` prints figure-shaped tables.
 """
 
 from repro.sim.pipeline import (
@@ -23,9 +24,29 @@ from repro.sim.experiment import (
     replicate,
     match_intra_th_to_size,
 )
+from repro.sim.runner import (
+    JobFailure,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    build_grid,
+    run_grid,
+    run_job,
+    run_simulations,
+    stable_hash,
+)
 from repro.sim.report import format_table, format_series, format_csv
 
 __all__ = [
+    "JobSpec",
+    "JobResult",
+    "JobFailure",
+    "ResultCache",
+    "build_grid",
+    "run_grid",
+    "run_job",
+    "run_simulations",
+    "stable_hash",
     "SimulationConfig",
     "SimulationResult",
     "FrameRecord",

@@ -25,6 +25,12 @@ from repro.sim.pipeline import (
     encode_only,
     simulate,
 )
+from repro.sim.runner import (
+    ResultCache,
+    run_simulations,
+    sequence_digest,
+    stable_hash,
+)
 from repro.video.frame import VideoSequence
 
 
@@ -69,9 +75,32 @@ def sweep(
     sequence: VideoSequence,
     specs: Iterable[ExperimentSpec],
     config: Optional[SimulationConfig] = None,
+    max_workers: Optional[int] = 1,
 ) -> list[ExperimentResult]:
-    """Run a list of specs against one sequence, in order."""
-    return [run_experiment(sequence, spec, config) for spec in specs]
+    """Run a list of specs against one sequence, preserving order.
+
+    ``max_workers`` fans the runs across a process pool via
+    :func:`repro.sim.runner.run_simulations`; strategies and loss
+    models are instantiated here (fresh per run) and shipped to the
+    workers as initial-state objects, so parallel results are
+    bit-identical to serial ones.  Specs whose factories do not pickle
+    (e.g. lambdas) silently run serially instead.
+    """
+    specs = list(specs)
+    tasks = [
+        (
+            sequence,
+            spec.strategy_factory(),
+            spec.loss_factory() if spec.loss_factory else None,
+            config,
+        )
+        for spec in specs
+    ]
+    results = run_simulations(tasks, max_workers=max_workers)
+    return [
+        ExperimentResult(label=spec.label, result=result)
+        for spec, result in zip(specs, results)
+    ]
 
 
 def total_encoded_bytes(
@@ -92,6 +121,7 @@ def match_intra_th_to_size(
     pbpair_kwargs: Optional[dict] = None,
     tolerance: float = 0.03,
     max_iterations: int = 8,
+    cache: Optional[ResultCache] = None,
 ) -> float:
     """Find the ``Intra_Th`` whose encoded size matches ``target_bytes``.
 
@@ -99,6 +129,12 @@ def match_intra_th_to_size(
     (more macroblocks fall below it and are intra-coded).  Stops when
     within ``tolerance`` (relative) of the target or after
     ``max_iterations`` encodes, returning the best threshold seen.
+
+    The bisection itself is inherently sequential (each probe depends
+    on the previous outcome), but each probe's encoded size is pure in
+    its parameters: with a ``cache``, probes are memoized on disk under
+    a content hash of (sequence pixels, threshold, PBPAIR knobs, codec
+    config), so re-calibrating the same clip is free.
 
     The paper does the same calibration to compare schemes at equal
     compression ratio.  Calibrate on the clip you will measure: a
@@ -109,13 +145,40 @@ def match_intra_th_to_size(
         raise ValueError("target_bytes must be positive")
     if not 0.0 < tolerance < 1.0:
         raise ValueError("tolerance must be in (0, 1)")
+    if max_iterations < 1:
+        raise ValueError(
+            f"max_iterations must be >= 1, got {max_iterations}: bisection "
+            "needs at least one encode to have a threshold to return"
+        )
     kwargs = dict(pbpair_kwargs or {})
+    digest = sequence_digest(sequence) if cache is not None else None
+
+    def probe_size(th: float) -> int:
+        if cache is not None:
+            key = stable_hash(
+                {
+                    "kind": "encode-size",
+                    "sequence": digest,
+                    "intra_th": th,
+                    "plr": plr,
+                    "pbpair_kwargs": kwargs,
+                    "config": config or SimulationConfig(),
+                }
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return int(hit)
+        strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=th, plr=plr, **kwargs))
+        size = total_encoded_bytes(sequence, strategy, config)
+        if cache is not None:
+            cache.put(key, size)
+        return size
+
     lo, hi = 0.0, 1.0
     best_th, best_error = 0.5, float("inf")
     for _ in range(max_iterations):
         mid = (lo + hi) / 2.0
-        strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=mid, plr=plr, **kwargs))
-        size = total_encoded_bytes(sequence, strategy, config)
+        size = probe_size(mid)
         error = abs(size - target_bytes) / target_bytes
         if error < best_error:
             best_th, best_error = mid, error
@@ -156,6 +219,7 @@ def replicate(
     seeds: Sequence[int],
     label: str = "run",
     config: Optional[SimulationConfig] = None,
+    max_workers: Optional[int] = 1,
 ) -> ReplicationSummary:
     """Run the same experiment over several channel seeds.
 
@@ -164,18 +228,20 @@ def replicate(
     how the comparison benches should be read.  ``loss_factory`` maps a
     seed to a fresh loss model; ``strategy_factory`` builds a fresh
     (stateful) strategy per run.
+
+    The per-seed runs are independent, so ``max_workers`` fans them
+    across a process pool (:func:`repro.sim.runner.run_simulations`);
+    the ``metric`` callable is applied in *this* process, so it may be
+    a lambda.  Seed order and values are identical at any worker count.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = []
-    for seed in seeds:
-        result = simulate(
-            sequence,
-            strategy_factory(),
-            loss_model=loss_factory(seed),
-            config=config,
-        )
-        values.append(float(metric(result)))
+    tasks = [
+        (sequence, strategy_factory(), loss_factory(seed), config)
+        for seed in seeds
+    ]
+    results = run_simulations(tasks, max_workers=max_workers)
+    values = [float(metric(result)) for result in results]
     return ReplicationSummary(
         label=label, seeds=tuple(int(s) for s in seeds), values=tuple(values)
     )

@@ -1,0 +1,561 @@
+"""Parallel experiment execution with on-disk result caching.
+
+The paper's headline results (Figures 5-6) are grids of
+``(scheme x PLR x channel seed x sequence)`` simulations.  Every cell is
+independent and deterministic given its parameters, which makes the grid
+embarrassingly parallel *and* cacheable — this module exploits both:
+
+* :class:`JobSpec` is a *declarative*, picklable description of one
+  grid cell: the scheme spec string (the figures' own vocabulary, see
+  :mod:`repro.resilience.registry`), the channel parameters, the source
+  sequence by name, and the codec/device configuration.  Everything a
+  worker process needs to rebuild the experiment from scratch.
+* :func:`run_grid` fans a list of specs across a
+  :class:`concurrent.futures.ProcessPoolExecutor`, with per-job error
+  capture (a crashed cell comes back as a :class:`JobFailure` record
+  instead of killing the sweep) and an optional per-job timeout.
+* :class:`ResultCache` stores each cell's
+  :class:`~repro.sim.pipeline.SimulationResult` on disk under a stable
+  content hash of its spec, so re-running a sweep only computes the
+  cells whose parameters changed.
+
+Determinism: a job's outcome depends only on its spec (synthetic
+sequences, the channel and the codec are all explicitly seeded), so the
+same grid produces bit-identical results at any worker count — the
+serial path is the ``max_workers=1`` special case of the same code, not
+a separate implementation.
+
+:func:`run_simulations` is the lower-level sibling used by
+:func:`repro.sim.experiment.sweep` and
+:func:`~repro.sim.experiment.replicate`: it parallelizes already-built
+(sequence, strategy, loss model) triples, falling back to serial
+execution when the objects cannot cross a process boundary (e.g. lambda
+factories) or the platform has no working process pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.network.loss import UniformLoss
+from repro.resilience.registry import build_strategy
+from repro.sim.pipeline import SimulationConfig, SimulationResult, simulate
+from repro.video.frame import VideoSequence
+from repro.video.synthetic import (
+    SEQUENCE_GENERATORS,
+    SyntheticConfig,
+    generate_sequence,
+)
+
+#: Bumped whenever the simulation pipeline changes in a way that makes
+#: previously cached results stale (new metrics, changed semantics).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk cache location (overridable per call and via the CLI).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+# ---------------------------------------------------------------------------
+# Stable content hashing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to JSON-serializable primitives, deterministically.
+
+    Dataclasses become sorted dicts tagged with their class name (two
+    configs of different types never collide), mappings are
+    key-sorted, and tuples/sets become lists.  Floats pass through:
+    ``json`` renders them with ``repr``, which round-trips exactly.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        tagged = {"__class__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            tagged[f.name] = _canonical(getattr(value, f.name))
+        return tagged
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(v) for v in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for content hashing"
+    )
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``payload``.
+
+    Stable across processes and sessions (no ``PYTHONHASHSEED``
+    dependence), which is what makes it usable as an on-disk cache key.
+    """
+    canonical = json.dumps(
+        _canonical(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def sequence_digest(sequence: VideoSequence) -> str:
+    """Content hash of a sequence's pixel data (for non-declarative jobs).
+
+    Used when the caller holds a :class:`VideoSequence` object rather
+    than a (name, n_frames) description — e.g. the calibration loop of
+    :func:`repro.sim.experiment.match_intra_th_to_size`.
+    """
+    digest = hashlib.sha256()
+    digest.update(sequence.name.encode("utf-8"))
+    for frame in sequence:
+        digest.update(frame.pixels.tobytes())
+        if frame.cb is not None:
+            digest.update(frame.cb.tobytes())
+        if frame.cr is not None:
+            digest.update(frame.cr.tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Job model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative cell of an experiment grid.
+
+    Every field is plain data, so the spec pickles cheaply to worker
+    processes and hashes stably for the result cache.  The worker
+    rebuilds the whole experiment from it: sequence (by registry name,
+    or from an explicit :class:`SyntheticConfig`), strategy (from the
+    figure-style spec string), channel (uniform loss at ``plr`` with
+    ``channel_seed``) and pipeline configuration.
+
+    Attributes:
+        scheme: figure-style strategy spec ("NO", "GOP-3", "AIR-24",
+            "PGOP-3", "PBPAIR").
+        plr: channel packet loss rate; also PBPAIR's assumed ``alpha``
+            unless ``pbpair_kwargs`` overrides it.
+        channel_seed: loss-pattern seed — the replication axis.
+        sequence: synthetic clip name from
+            :data:`repro.video.synthetic.SEQUENCE_GENERATORS`, or a
+            free-form label when ``synthetic`` is given.
+        n_frames: clip length (ignored when ``synthetic`` is given,
+            which carries its own ``n_frames``).
+        synthetic: explicit sequence parameters; takes precedence over
+            the ``sequence``-name lookup.  This keeps the spec fully
+            declarative for non-registry clips (tests use tiny frames).
+        granularity: channel loss granularity, ``"frame"`` (paper) or
+            ``"packet"``.
+        config: pipeline configuration (codec, MTU, device profile).
+        pbpair_kwargs: extra :class:`repro.core.pbpair.PBPAIRConfig`
+            knobs for PBPAIR schemes (``intra_th``, ...).
+    """
+
+    scheme: str
+    plr: float = 0.1
+    channel_seed: int = 0
+    sequence: str = "foreman"
+    n_frames: int = 90
+    synthetic: Optional[SyntheticConfig] = None
+    granularity: str = "frame"
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    pbpair_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.plr <= 1.0:
+            raise ValueError(f"plr must be in [0, 1], got {self.plr}")
+        if self.n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {self.n_frames}")
+        if self.synthetic is None and self.sequence not in SEQUENCE_GENERATORS:
+            known = ", ".join(sorted(SEQUENCE_GENERATORS))
+            raise ValueError(
+                f"unknown sequence {self.sequence!r} (known: {known}); "
+                "pass synthetic=SyntheticConfig(...) for custom clips"
+            )
+        # Normalize to a plain dict so equality and hashing see the same
+        # content regardless of the mapping type the caller used.
+        object.__setattr__(self, "pbpair_kwargs", dict(self.pbpair_kwargs))
+
+    @property
+    def is_pbpair(self) -> bool:
+        return self.scheme.strip().upper() == "PBPAIR"
+
+    def content_hash(self) -> str:
+        """Stable cache key: every parameter that can change the result."""
+        return stable_hash(
+            {
+                "kind": "simulate",
+                "cache_schema": CACHE_SCHEMA_VERSION,
+                "scheme": self.scheme.strip().upper(),
+                "plr": self.plr,
+                "channel_seed": self.channel_seed,
+                "sequence": self.sequence,
+                "n_frames": None if self.synthetic else self.n_frames,
+                "synthetic": self.synthetic,
+                "granularity": self.granularity,
+                "config": self.config,
+                "pbpair_kwargs": self.pbpair_kwargs,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A completed grid cell."""
+
+    spec: JobSpec
+    result: SimulationResult
+    wall_time_s: float
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A grid cell that raised (or timed out) instead of finishing.
+
+    Captured per cell so one bad parameter combination does not kill an
+    hours-long sweep; the traceback text travels back from the worker
+    as a string because live traceback objects do not pickle.
+    """
+
+    spec: JobSpec
+    error_type: str
+    message: str
+    traceback_text: str = ""
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+def build_grid(
+    schemes: Sequence[str],
+    plrs: Sequence[float],
+    channel_seeds: Sequence[int],
+    sequences: Sequence[str] = ("foreman",),
+    n_frames: int = 90,
+    config: Optional[SimulationConfig] = None,
+    pbpair_kwargs: Optional[Mapping[str, Any]] = None,
+    granularity: str = "frame",
+) -> list[JobSpec]:
+    """Cartesian product of the paper's four grid axes, in a fixed order.
+
+    Iteration order is sequence-major, then scheme, PLR, seed — stable,
+    so result lists line up across runs and worker counts.
+    """
+    jobs = []
+    for sequence in sequences:
+        for scheme in schemes:
+            for plr in plrs:
+                for seed in channel_seeds:
+                    jobs.append(
+                        JobSpec(
+                            scheme=scheme,
+                            plr=plr,
+                            channel_seed=seed,
+                            sequence=sequence,
+                            n_frames=n_frames,
+                            config=config or SimulationConfig(),
+                            pbpair_kwargs=dict(pbpair_kwargs or {}),
+                        )
+                    )
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Pickle-per-key cache directory for experiment results.
+
+    Writes are atomic (tempfile + rename) so a killed run never leaves a
+    truncated entry behind; unreadable entries are treated as misses and
+    deleted.  Keys are the stable content hashes produced by
+    :meth:`JobSpec.content_hash` / :func:`stable_hash`, so the cache is
+    shared safely between sweeps: equal spec, equal key, equal result.
+    """
+
+    def __init__(self, directory: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[object]:
+        """The cached object, or None (counts a hit/miss either way)."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupt entry (e.g. a version-skewed pickle):
+            # drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Job execution
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _sequence_for(
+    sequence: str, n_frames: int, synthetic: Optional[SyntheticConfig]
+) -> VideoSequence:
+    """Build (and memoize per process) a job's source sequence.
+
+    Workers typically run many cells of the same clip; regenerating it
+    per job would dominate small-grid wall time.
+    """
+    if synthetic is not None:
+        return generate_sequence(synthetic, name=sequence)
+    return SEQUENCE_GENERATORS[sequence](n_frames)
+
+
+def run_job(spec: JobSpec) -> SimulationResult:
+    """Execute one grid cell from scratch, deterministically.
+
+    Every random element (synthetic sequence, channel) is seeded from
+    the spec, so equal specs produce equal results in any process.
+    """
+    sequence = _sequence_for(spec.sequence, spec.n_frames, spec.synthetic)
+    if spec.is_pbpair:
+        kwargs = {"plr": spec.plr, **spec.pbpair_kwargs}
+        strategy = build_strategy("PBPAIR", **kwargs)
+    else:
+        strategy = build_strategy(spec.scheme)
+    loss_model = UniformLoss(
+        plr=spec.plr, seed=spec.channel_seed, granularity=spec.granularity
+    )
+    return simulate(sequence, strategy, loss_model=loss_model, config=spec.config)
+
+
+def _execute_job(spec: JobSpec) -> tuple[bool, object, float]:
+    """Worker entry point: never raises, returns a picklable outcome."""
+    start = time.perf_counter()
+    try:
+        result = run_job(spec)
+        return True, result, time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 - error capture is the contract
+        payload = (
+            type(error).__name__,
+            str(error),
+            traceback.format_exc(),
+        )
+        return False, payload, time.perf_counter() - start
+
+
+def _outcome(
+    spec: JobSpec, ok: bool, payload: object, elapsed: float
+) -> Union[JobResult, JobFailure]:
+    if ok:
+        return JobResult(spec=spec, result=payload, wall_time_s=elapsed)
+    error_type, message, tb_text = payload
+    return JobFailure(
+        spec=spec,
+        error_type=error_type,
+        message=message,
+        traceback_text=tb_text,
+        wall_time_s=elapsed,
+    )
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """None -> all cores; values below 1 are a configuration error."""
+    if max_workers is None:
+        return os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
+
+
+def run_grid(
+    jobs: Iterable[JobSpec],
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+) -> list[Union[JobResult, JobFailure]]:
+    """Run a grid of jobs, in parallel, with caching and error capture.
+
+    Args:
+        jobs: the grid cells; results come back in the same order.
+        max_workers: process count; ``None`` uses every core, ``1``
+            (or a single uncached job, or a platform without a working
+            process pool) runs serially in this process.
+        cache: optional on-disk result cache.  Cached cells are
+            returned immediately (``from_cache=True``) without touching
+            the pool; fresh successes are written back.
+        timeout: per-job wall-clock limit in seconds, enforced while
+            collecting pool results — a cell that exceeds it becomes a
+            :class:`JobFailure` with ``error_type="TimeoutError"``.
+            Best-effort: an already-running worker process is not
+            killed, and the serial path cannot preempt a job at all.
+
+    Returns:
+        One :class:`JobResult` or :class:`JobFailure` per input spec,
+        order-aligned with ``jobs``.  Outcomes are deterministic: the
+        worker count changes wall time, never values.
+    """
+    specs = list(jobs)
+    outcomes: dict[int, Union[JobResult, JobFailure]] = {}
+
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            hit = cache.get(spec.content_hash())
+            if hit is not None:
+                outcomes[index] = JobResult(
+                    spec=spec, result=hit, wall_time_s=0.0, from_cache=True
+                )
+                continue
+        pending.append(index)
+
+    workers = min(resolve_workers(max_workers), max(len(pending), 1))
+
+    def finish(index: int, ok: bool, payload: object, elapsed: float) -> None:
+        outcome = _outcome(specs[index], ok, payload, elapsed)
+        if cache is not None and isinstance(outcome, JobResult):
+            cache.put(specs[index].content_hash(), outcome.result)
+        outcomes[index] = outcome
+
+    if workers <= 1:
+        for index in pending:
+            finish(index, *_execute_job(specs[index]))
+        return [outcomes[i] for i in range(len(specs))]
+
+    try:
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    except (NotImplementedError, OSError, PermissionError):
+        # No usable process pool on this platform: same results, serially.
+        for index in pending:
+            finish(index, *_execute_job(specs[index]))
+        return [outcomes[i] for i in range(len(specs))]
+
+    with executor:
+        futures = {
+            index: executor.submit(_execute_job, specs[index])
+            for index in pending
+        }
+        for index in pending:
+            try:
+                ok, payload, elapsed = futures[index].result(timeout=timeout)
+            except concurrent.futures.TimeoutError:
+                futures[index].cancel()
+                outcomes[index] = JobFailure(
+                    spec=specs[index],
+                    error_type="TimeoutError",
+                    message=f"job exceeded {timeout}s",
+                    wall_time_s=float(timeout or 0.0),
+                )
+                continue
+            except concurrent.futures.process.BrokenProcessPool as error:
+                outcomes[index] = JobFailure(
+                    spec=specs[index],
+                    error_type="BrokenProcessPool",
+                    message=str(error),
+                )
+                continue
+            finish(index, ok, payload, elapsed)
+
+    return [outcomes[i] for i in range(len(specs))]
+
+
+# ---------------------------------------------------------------------------
+# Lower-level parallel simulate (for already-built experiment objects)
+# ---------------------------------------------------------------------------
+
+
+def _execute_simulation(task: tuple) -> SimulationResult:
+    sequence, strategy, loss_model, config = task
+    return simulate(sequence, strategy, loss_model=loss_model, config=config)
+
+
+def run_simulations(
+    tasks: Sequence[tuple],
+    max_workers: Optional[int] = 1,
+) -> list[SimulationResult]:
+    """Run ``simulate`` over (sequence, strategy, loss_model, config) tuples.
+
+    The object-level counterpart of :func:`run_grid`, used by
+    :func:`repro.sim.experiment.sweep` and
+    :func:`~repro.sim.experiment.replicate`: strategies and loss models
+    are instantiated by the *caller* (fresh per run — they are
+    stateful), then shipped to workers as initial-state instances.
+
+    Falls back to serial execution when ``max_workers`` is 1, when a
+    task does not pickle (user-supplied objects are arbitrary), or when
+    the platform has no working process pool.  Exceptions propagate to
+    the caller unchanged, matching the serial semantics these helpers
+    always had.
+    """
+    tasks = list(tasks)
+    workers = min(resolve_workers(max_workers), max(len(tasks), 1))
+    if workers > 1:
+        try:
+            for task in tasks:
+                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            workers = 1
+
+    if workers <= 1:
+        return [_execute_simulation(task) for task in tasks]
+
+    try:
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    except (NotImplementedError, OSError, PermissionError):
+        return [_execute_simulation(task) for task in tasks]
+
+    with executor:
+        futures = [executor.submit(_execute_simulation, task) for task in tasks]
+        return [future.result() for future in futures]

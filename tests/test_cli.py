@@ -77,17 +77,66 @@ class TestCommands:
             main(["simulate", "--frames", "0"])
 
     def test_sweep(self, capsys):
-        assert main(["sweep", "--frames", "8", "--sequence", "akiyo"]) == 0
+        assert (
+            main(["sweep", "--frames", "8", "--sequence", "akiyo", "--no-cache"])
+            == 0
+        )
         out = capsys.readouterr().out
         assert "Intra_Th" in out
         assert "operating points" in out
 
+    def test_sweep_parallel_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--frames",
+            "4",
+            "--sequence",
+            "akiyo",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # second run: all cells from the cache
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert len(list(tmp_path.glob("*.pkl"))) >= 6
+
+    def test_sweep_rejects_negative_jobs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--frames",
+                    "4",
+                    "--jobs",
+                    "-1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
     @pytest.mark.slow
-    def test_compare(self, capsys):
-        assert main(["compare", "--frames", "12"]) == 0
+    def test_compare(self, capsys, tmp_path):
+        assert (
+            main(["compare", "--frames", "12", "--cache-dir", str(tmp_path)])
+            == 0
+        )
         out = capsys.readouterr().out
         for scheme in ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24"):
             assert scheme in out
+
+    def test_compare_parallel_matches_serial(self, capsys, tmp_path):
+        base = ["compare", "--frames", "4", "--sequence", "akiyo"]
+        assert main(base + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(base + ["--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
 
 
 class TestSigmaCommand:

@@ -9,6 +9,7 @@ from repro.sim.experiment import (
     ExperimentSpec,
     comparison_specs,
     match_intra_th_to_size,
+    replicate,
     run_experiment,
     sweep,
     total_encoded_bytes,
@@ -54,6 +55,33 @@ class TestRunExperiment:
         out = run_experiment(clip, spec, sim_config)
         assert out.result.channel_log.loss_rate > 0
 
+    def test_parallel_sweep_matches_serial(self, clip, sim_config):
+        specs = comparison_specs(
+            ["NO", "GOP-2", "PBPAIR"],
+            lambda: UniformLoss(plr=0.4, seed=7),
+            pbpair_kwargs=dict(intra_th=0.8, plr=0.4),
+        )
+        serial = sweep(clip, specs, sim_config, max_workers=1)
+        parallel = sweep(clip, specs, sim_config, max_workers=2)
+        assert [r.label for r in serial] == [r.label for r in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.result.frames == p.result.frames
+            assert s.result.counters == p.result.counters
+            assert s.result.energy == p.result.energy
+
+    def test_parallel_replicate_matches_serial(self, clip, sim_config):
+        kwargs = dict(
+            sequence=clip,
+            strategy_factory=NoResilience,
+            loss_factory=lambda seed: UniformLoss(plr=0.4, seed=seed),
+            metric=lambda r: r.average_psnr_decoder,
+            seeds=[1, 2, 3],
+            config=sim_config,
+        )
+        serial = replicate(max_workers=1, **kwargs)
+        parallel = replicate(max_workers=3, **kwargs)
+        assert serial == parallel
+
 
 class TestComparisonSpecs:
     def test_pbpair_kwargs_applied(self, clip, sim_config):
@@ -95,6 +123,36 @@ class TestSizeMatching:
             match_intra_th_to_size(clip, 0, plr=0.1)
         with pytest.raises(ValueError):
             match_intra_th_to_size(clip, 100, plr=0.1, tolerance=0)
+
+    def test_zero_iterations_rejected(self, clip):
+        with pytest.raises(ValueError, match="max_iterations"):
+            match_intra_th_to_size(clip, 100, plr=0.1, max_iterations=0)
+        with pytest.raises(ValueError, match="max_iterations"):
+            match_intra_th_to_size(clip, 100, plr=0.1, max_iterations=-3)
+
+    def test_single_iteration_returns_first_probe(self, clip, sim_config):
+        th = match_intra_th_to_size(
+            clip, 10_000, plr=0.3, config=sim_config, max_iterations=1
+        )
+        assert th == 0.5  # one bisection probe: the midpoint
+
+    def test_calibration_cache_reused(self, clip, sim_config, tmp_path):
+        from repro.sim.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        target = total_encoded_bytes(clip, build_strategy("GOP-3"), sim_config)
+        th_cold = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=4,
+            cache=cache,
+        )
+        probes = len(cache)
+        assert probes >= 1
+        th_warm = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=4,
+            cache=cache,
+        )
+        assert th_warm == th_cold
+        assert cache.hits >= probes  # every probe answered from disk
 
 
 class TestReport:

@@ -1,0 +1,278 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.codec.types import CodecConfig
+from repro.sim.pipeline import SimulationConfig
+from repro.sim.runner import (
+    JobFailure,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    build_grid,
+    run_grid,
+    run_job,
+    run_simulations,
+    sequence_digest,
+    stable_hash,
+)
+from repro.video.synthetic import SyntheticConfig
+
+from tests.conftest import SMALL_H, SMALL_W, small_config, small_sequence
+
+#: A tiny declarative clip every job in this file shares (5 frames of
+#: 64x48 keeps a full grid under a second per cell).
+TINY_CLIP = SyntheticConfig(
+    width=SMALL_W,
+    height=SMALL_H,
+    n_frames=5,
+    texture_scale=30.0,
+    object_radius=10,
+    object_motion_amplitude=10.0,
+    object_motion_period=8,
+    seed=11,
+)
+
+
+def tiny_job(**overrides) -> JobSpec:
+    defaults = dict(
+        scheme="NO",
+        plr=0.3,
+        channel_seed=1,
+        sequence="tiny",
+        synthetic=TINY_CLIP,
+        config=SimulationConfig(codec=small_config()),
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        payload = {"a": 1, "b": [1.5, "x"], "c": None}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_dataclasses_tagged_by_class(self):
+        # Two different config classes must never collide, even if their
+        # field names/values happened to line up.
+        assert stable_hash(CodecConfig()) != stable_hash(SimulationConfig())
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash({"oops": object()})
+
+
+class TestJobSpec:
+    def test_content_hash_stable_across_instances(self):
+        assert tiny_job().content_hash() == tiny_job().content_hash()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(scheme="GOP-2"),
+            dict(plr=0.31),
+            dict(channel_seed=2),
+            dict(granularity="packet"),
+            dict(config=SimulationConfig(codec=small_config(quantizer=8))),
+            dict(scheme="PBPAIR", pbpair_kwargs={"intra_th": 0.8}),
+        ],
+    )
+    def test_any_parameter_changes_the_hash(self, overrides):
+        assert tiny_job(**overrides).content_hash() != tiny_job().content_hash()
+
+    def test_pbpair_kwargs_order_irrelevant(self):
+        a = tiny_job(
+            scheme="PBPAIR", pbpair_kwargs={"intra_th": 0.8, "plr": 0.2}
+        )
+        b = tiny_job(
+            scheme="PBPAIR", pbpair_kwargs={"plr": 0.2, "intra_th": 0.8}
+        )
+        assert a.content_hash() == b.content_hash()
+
+    def test_picklable(self):
+        spec = tiny_job(scheme="PBPAIR", pbpair_kwargs={"intra_th": 0.9})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_job(plr=1.5)
+        with pytest.raises(ValueError):
+            tiny_job(synthetic=None, sequence="no-such-clip")
+        with pytest.raises(ValueError):
+            JobSpec(scheme="NO", sequence="foreman", n_frames=0)
+
+    def test_build_grid_order_and_size(self):
+        jobs = build_grid(
+            schemes=("NO", "GOP-3"),
+            plrs=(0.1, 0.2),
+            channel_seeds=(1, 2, 3),
+            sequences=("foreman",),
+            n_frames=4,
+        )
+        assert len(jobs) == 2 * 2 * 3
+        assert jobs[0].scheme == "NO" and jobs[0].plr == 0.1
+        assert [j.channel_seed for j in jobs[:3]] == [1, 2, 3]
+        assert jobs[-1].scheme == "GOP-3" and jobs[-1].plr == 0.2
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"value": 42})
+        assert cache.get("k1") == {"value": 42}
+        assert "k1" in cache
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("bad").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+        assert not cache.path_for("bad").exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunGrid:
+    GRID = [
+        tiny_job(scheme="NO"),
+        tiny_job(scheme="GOP-2"),
+        tiny_job(scheme="PBPAIR", pbpair_kwargs={"intra_th": 0.8}),
+        tiny_job(scheme="NO", channel_seed=2),
+    ]
+
+    def test_serial_results_labelled_and_ordered(self):
+        outcomes = run_grid(self.GRID, max_workers=1)
+        assert all(isinstance(o, JobResult) for o in outcomes)
+        assert [o.result.strategy_name for o in outcomes] == [
+            "NO",
+            "GOP-2",
+            "PBPAIR",
+            "NO",
+        ]
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = run_grid(self.GRID, max_workers=1)
+        parallel = run_grid(self.GRID, max_workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.result.frames == p.result.frames
+            assert s.result.counters == p.result.counters
+            assert s.result.energy == p.result.energy
+            assert s.result.size_stats == p.result.size_stats
+            assert s.result.channel_log.lost_packets == (
+                p.result.channel_log.lost_packets
+            )
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_grid(self.GRID[:2], max_workers=1, cache=cache)
+        assert [o.from_cache for o in first] == [False, False]
+        assert cache.misses == 2
+
+        second = run_grid(self.GRID[:2], max_workers=1, cache=cache)
+        assert [o.from_cache for o in second] == [True, True]
+        assert cache.hits == 2
+        for a, b in zip(first, second):
+            assert a.result.frames == b.result.frames
+
+    def test_cache_only_covers_matching_specs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid([self.GRID[0]], max_workers=1, cache=cache)
+        changed = tiny_job(scheme="NO", plr=0.31)
+        outcomes = run_grid(
+            [self.GRID[0], changed], max_workers=1, cache=cache
+        )
+        assert outcomes[0].from_cache is True
+        assert outcomes[1].from_cache is False
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_failure_captured_not_raised(self, max_workers):
+        # Codec dimensions mismatch the 64x48 clip: simulate raises.
+        bad = tiny_job(config=SimulationConfig(codec=CodecConfig()))
+        outcomes = run_grid(
+            [bad, self.GRID[0]], max_workers=max_workers
+        )
+        failure, success = outcomes
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "ValueError"
+        assert "does not match" in failure.message
+        assert not failure.ok
+        assert isinstance(success, JobResult) and success.ok
+
+    def test_failures_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = tiny_job(config=SimulationConfig(codec=CodecConfig()))
+        run_grid([bad], max_workers=1, cache=cache)
+        assert len(cache) == 0
+        again = run_grid([bad], max_workers=1, cache=cache)
+        assert isinstance(again[0], JobFailure)
+
+    def test_max_workers_validation(self):
+        with pytest.raises(ValueError):
+            run_grid(self.GRID[:1], max_workers=0)
+
+
+class TestRunJob:
+    def test_pbpair_inherits_spec_plr(self):
+        spec = tiny_job(scheme="PBPAIR", pbpair_kwargs={"intra_th": 0.8})
+        result = run_job(spec)
+        assert result.strategy_name == "PBPAIR"
+
+    def test_registry_sequence_by_name(self):
+        spec = JobSpec(scheme="NO", sequence="akiyo", n_frames=2, plr=0.0)
+        result = run_job(spec)
+        assert result.sequence_name == "akiyo"
+        assert result.n_frames == 2
+
+
+class TestRunSimulations:
+    def test_unpicklable_task_falls_back_to_serial(self):
+        clip = small_sequence(n_frames=3)
+        config = SimulationConfig(codec=small_config())
+
+        class LocalLoss:
+            """Defined in a function scope: pickle cannot import it."""
+
+            def survives(self, packet):
+                return True
+
+            def reset(self):
+                pass
+
+        from repro.resilience.none import NoResilience
+
+        with pytest.raises(Exception):
+            pickle.dumps(LocalLoss())
+        results = run_simulations(
+            [(clip, NoResilience(), LocalLoss(), config)], max_workers=2
+        )
+        assert len(results) == 1 and results[0].n_frames == 3
+
+
+class TestSequenceDigest:
+    def test_content_sensitive(self):
+        a = small_sequence(n_frames=3, seed=1)
+        b = small_sequence(n_frames=3, seed=2)
+        assert sequence_digest(a) != sequence_digest(b)
+        assert sequence_digest(a) == sequence_digest(
+            small_sequence(n_frames=3, seed=1)
+        )
