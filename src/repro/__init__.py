@@ -98,7 +98,34 @@ from repro.video import (
     garden_like,
 )
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """The package version, single-sourced from packaging metadata.
+
+    Installed (even ``pip install -e``): the version comes from
+    ``importlib.metadata``, i.e. whatever ``pyproject.toml`` said at
+    install time.  Running straight from a source checkout via
+    ``PYTHONPATH=src``: fall back to reading ``pyproject.toml`` itself,
+    so there is exactly one place the number is written.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        import tomllib
+
+        with pyproject.open("rb") as handle:
+            return str(tomllib.load(handle)["project"]["version"])
+    except (ImportError, OSError, KeyError, ValueError):
+        return "0.0.0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "CodecConfig",

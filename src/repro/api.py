@@ -1,0 +1,200 @@
+"""Stable public facade of the reproduction toolkit.
+
+This module is the **stability boundary** of the package: scripts,
+notebooks and downstream tooling should import from ``repro.api`` (or
+the aliases re-exported in :mod:`repro` itself), not from the internal
+submodules.  Everything in ``__all__`` here keeps its name and call
+signature across minor versions; internal modules
+(``repro.sim.pipeline``, ``repro.codec.*``, ...) may be refactored
+freely underneath it.
+
+Two kinds of names live here:
+
+* **Functions** — thin wrappers over the experiment harness whose
+  option arguments are *keyword-only*, so call sites stay readable and
+  adding options never breaks positional callers::
+
+      from repro import api
+
+      video = api.make_sequence("foreman", n_frames=60)
+      strategy = api.make_strategy("PBPAIR", intra_th=0.35, plr=0.1)
+      result = api.simulate(video, strategy=strategy, plr=0.1)
+
+* **Types** — the dataclasses those functions accept and return
+  (:class:`SimulationConfig`, :class:`ExperimentSpec`, ...), re-exported
+  unchanged.
+
+Observability rides along: :class:`Tracer`, :func:`use_tracer`,
+:func:`write_trace`, :func:`load_trace` and :func:`trace_summary` are
+part of the facade so traced runs do not need internal imports either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.network.loss import LossModel, UniformLoss
+from repro.obs import (
+    MetricsRegistry,
+    TraceData,
+    Tracer,
+    get_tracer,
+    load_trace,
+    set_tracer,
+    trace_summary,
+    use_tracer,
+    write_trace,
+)
+from repro.resilience.base import ResilienceStrategy
+from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
+from repro.sim.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    ReplicationSummary,
+    match_intra_th_to_size,
+)
+from repro.sim.experiment import comparison_specs as _comparison_specs
+from repro.sim.experiment import replicate as _replicate
+from repro.sim.experiment import run_experiment as _run_experiment
+from repro.sim.experiment import sweep as _sweep
+from repro.sim.pipeline import (
+    FrameRecord,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sim.pipeline import simulate as _simulate
+from repro.video.frame import VideoSequence
+from repro.video.synthetic import SEQUENCE_GENERATORS
+
+
+def simulate(
+    sequence: VideoSequence,
+    *,
+    strategy: ResilienceStrategy,
+    loss_model: Optional[LossModel] = None,
+    plr: Optional[float] = None,
+    seed: int = 1,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Run one scheme over one sequence and a lossy channel.
+
+    Pass either a ``loss_model`` or a ``plr`` (which builds a
+    :class:`~repro.network.loss.UniformLoss` with ``seed``); passing
+    both is an error, passing neither simulates a loss-free channel.
+    """
+    if loss_model is not None and plr is not None:
+        raise ValueError("pass loss_model or plr, not both")
+    if loss_model is None and plr is not None:
+        loss_model = UniformLoss(plr=plr, seed=seed)
+    return _simulate(sequence, strategy, loss_model=loss_model, config=config)
+
+
+def run_experiment(
+    sequence: VideoSequence,
+    *,
+    spec: ExperimentSpec,
+    config: Optional[SimulationConfig] = None,
+) -> ExperimentResult:
+    """Run one labelled :class:`ExperimentSpec` against one sequence."""
+    return _run_experiment(sequence, spec, config=config)
+
+
+def sweep(
+    sequence: VideoSequence,
+    *,
+    specs: Iterable[ExperimentSpec],
+    config: Optional[SimulationConfig] = None,
+    max_workers: Optional[int] = 1,
+) -> list[ExperimentResult]:
+    """Run several specs against one sequence, preserving order."""
+    return _sweep(sequence, specs, config=config, max_workers=max_workers)
+
+
+def replicate(
+    sequence: VideoSequence,
+    *,
+    strategy_factory: Callable[[], ResilienceStrategy],
+    loss_factory: Callable[[int], LossModel],
+    metric: Callable[[SimulationResult], float],
+    seeds: Sequence[int],
+    label: str = "run",
+    config: Optional[SimulationConfig] = None,
+    max_workers: Optional[int] = 1,
+) -> ReplicationSummary:
+    """Run the same experiment over several channel seeds."""
+    return _replicate(
+        sequence,
+        strategy_factory,
+        loss_factory,
+        metric,
+        seeds,
+        label=label,
+        config=config,
+        max_workers=max_workers,
+    )
+
+
+def comparison_specs(
+    scheme_specs: Sequence[str],
+    *,
+    loss_factory: Optional[Callable[[], LossModel]] = None,
+    pbpair_kwargs: Optional[dict] = None,
+) -> list[ExperimentSpec]:
+    """Build the paper's figure legends ("NO", "PBPAIR", "PGOP-3", ...)."""
+    return _comparison_specs(
+        scheme_specs, loss_factory=loss_factory, pbpair_kwargs=pbpair_kwargs
+    )
+
+
+def make_strategy(spec: str, **kwargs) -> ResilienceStrategy:
+    """Build a resilience strategy from its spec string.
+
+    Spec strings are the scheme names the paper compares: ``"NO"``,
+    ``"GOP-3"``, ``"AIR-24"``, ``"PGOP-3"``, ``"PBPAIR"``.  Keyword
+    arguments configure PBPAIR (``intra_th``, ``plr``, ...); see
+    :data:`repro.resilience.registry.STRATEGY_BUILDERS` for the set of
+    recognised prefixes.
+    """
+    return build_strategy(spec, **kwargs)
+
+
+def make_sequence(name: str, *, n_frames: int = 90) -> VideoSequence:
+    """Build one of the bundled synthetic test clips by name."""
+    try:
+        generator = SEQUENCE_GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sequence {name!r}; "
+            f"choose from {', '.join(sorted(SEQUENCE_GENERATORS))}"
+        ) from None
+    return generator(n_frames)
+
+
+__all__ = [
+    # harness functions (keyword-only options)
+    "simulate",
+    "run_experiment",
+    "sweep",
+    "replicate",
+    "comparison_specs",
+    "make_strategy",
+    "make_sequence",
+    "match_intra_th_to_size",
+    # types those functions accept / return
+    "SimulationConfig",
+    "SimulationResult",
+    "FrameRecord",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ReplicationSummary",
+    # observability
+    "Tracer",
+    "TraceData",
+    "MetricsRegistry",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "write_trace",
+    "load_trace",
+    "trace_summary",
+]

@@ -9,17 +9,34 @@ Commands:
 * ``sweep`` — the Section-4.3 (Intra_Th x PLR) operating-point table.
 * ``sigma`` — encode with PBPAIR and print the correctness matrix as
   ASCII heatmaps (the paper's ``C^k``, live).
+* ``trace`` — render the per-stage time/energy breakdown of a trace
+  file written by a ``--trace`` run.
 * ``info`` — list available schemes, sequences and device profiles.
+
+``simulate``, ``compare`` and ``sweep`` accept ``--trace`` (and
+``--trace-dir DIR``, which implies it): the run executes under a
+:mod:`repro.obs` tracer, leaves ``trace.jsonl`` in the trace directory,
+and prints the same per-stage breakdown ``repro trace`` would.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.energy.profiles import DEVICE_PROFILES
 from repro.network.loss import UniformLoss
+from repro.obs import (
+    MERGED_TRACE_NAME,
+    TraceFormatError,
+    Tracer,
+    load_trace,
+    trace_summary,
+    use_tracer,
+    write_trace,
+)
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
 from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
 from repro.sim.pipeline import SimulationConfig, simulate
@@ -32,6 +49,10 @@ from repro.sim.runner import (
     run_grid,
 )
 from repro.video.synthetic import SEQUENCE_GENERATORS
+
+#: Where ``--trace`` runs leave their JSONL files unless ``--trace-dir``
+#: points elsewhere.
+DEFAULT_TRACE_DIR = ".repro_trace"
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -76,27 +97,63 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    _add_trace_options(parser)
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the run per pipeline stage and print the breakdown",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write trace JSONL files to DIR (implies --trace; "
+        f"default: {DEFAULT_TRACE_DIR})",
+    )
+
+
+def _trace_dir(args: argparse.Namespace) -> Optional[Path]:
+    """The trace output directory, or None when tracing is off."""
+    if args.trace_dir is not None:
+        return Path(args.trace_dir)
+    return Path(DEFAULT_TRACE_DIR) if args.trace else None
+
+
+def _print_trace_report(trace_file: Optional[Path], args) -> None:
+    if trace_file is None or not trace_file.exists():
+        print("no trace written (all grid cells were cache hits?)",
+              file=sys.stderr)
+        return
+    print()
+    print(trace_summary(load_trace(trace_file), DEVICE_PROFILES[args.device]))
+    print(f"trace written to {trace_file}")
 
 
 def _runner_setup(args: argparse.Namespace):
-    """(max_workers, cache) from the runner options."""
+    """(max_workers, cache, trace_dir) from the runner options."""
     if args.jobs < 0:
         raise SystemExit("--jobs must be >= 0")
     max_workers = None if args.jobs == 0 else args.jobs
+    trace_dir = _trace_dir(args)
     if args.no_cache:
-        return max_workers, None
+        return max_workers, None, trace_dir
     try:
         cache = ResultCache(args.cache_dir)
     except (FileExistsError, NotADirectoryError):
         raise SystemExit(
             f"--cache-dir {args.cache_dir!r} exists and is not a directory"
         )
-    return max_workers, cache
+    return max_workers, cache, trace_dir
 
 
-def _grid_results(jobs, max_workers, cache):
+def _grid_results(jobs, max_workers, cache, trace_dir=None):
     """Run a grid and unwrap it, aborting loudly on any failed cell."""
-    outcomes = run_grid(jobs, max_workers=max_workers, cache=cache)
+    outcomes = run_grid(
+        jobs, max_workers=max_workers, cache=cache, trace_dir=trace_dir
+    )
     failures = [o for o in outcomes if isinstance(o, JobFailure)]
     for failure in failures:
         print(
@@ -130,12 +187,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         strategy = build_strategy(args.scheme)
-    result = simulate(
-        video,
-        strategy,
-        loss_model=UniformLoss(plr=args.plr, seed=args.seed),
-        config=_config(args),
-    )
+    trace_dir = _trace_dir(args)
+    trace_file: Optional[Path] = None
+    if trace_dir is not None:
+        tracer = Tracer(trace_id=f"{args.scheme} {video.name}")
+        with use_tracer(tracer):
+            result = simulate(
+                video,
+                strategy,
+                loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+                config=_config(args),
+            )
+        trace_file = write_trace(trace_dir / MERGED_TRACE_NAME, tracer)
+    else:
+        result = simulate(
+            video,
+            strategy,
+            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
+            config=_config(args),
+        )
     print(f"sequence         : {video.name} ({result.n_frames} frames)")
     print(f"scheme           : {result.strategy_name}")
     print(f"delivered PSNR   : {result.average_psnr_decoder:.2f} dB")
@@ -146,13 +216,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({result.energy.device})")
     print(f"packets lost     : {len(result.channel_log.lost_packets)}"
           f"/{result.channel_log.sent}")
+    if trace_file is not None:
+        _print_trace_report(trace_file, args)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache = _runner_setup(args)
+    max_workers, cache, trace_dir = _runner_setup(args)
     print("Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
           file=sys.stderr)
     target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
@@ -174,7 +246,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for spec in schemes
     ]
     rows = []
-    for spec, result in zip(schemes, _grid_results(jobs, max_workers, cache)):
+    for spec, result in zip(
+        schemes, _grid_results(jobs, max_workers, cache, trace_dir)
+    ):
         rows.append(
             [
                 spec,
@@ -195,13 +269,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if trace_dir is not None:
+        _print_trace_report(trace_dir / MERGED_TRACE_NAME, args)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache = _runner_setup(args)
+    max_workers, cache, trace_dir = _runner_setup(args)
     thresholds = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
     jobs = [
         JobSpec(
@@ -217,7 +293,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     rows = []
     for th, result in zip(
-        thresholds, _grid_results(jobs, max_workers, cache)
+        thresholds, _grid_results(jobs, max_workers, cache, trace_dir)
     ):
         rows.append(
             [
@@ -240,6 +316,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if trace_dir is not None:
+        _print_trace_report(trace_dir / MERGED_TRACE_NAME, args)
     return 0
 
 
@@ -269,6 +347,17 @@ def _cmd_sigma(args: argparse.Namespace) -> int:
             f"refreshes={int(snapshot.intra_mask.sum())}"
         )
         print(sigma_heatmap(snapshot.sigma_after, mark=snapshot.intra_mask))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        trace = load_trace(Path(args.trace_file))
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.trace_file}")
+    except TraceFormatError as error:
+        raise SystemExit(f"not a trace file: {args.trace_file}: {error}")
+    print(trace_summary(trace, DEVICE_PROFILES[args.device]))
     return 0
 
 
@@ -305,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.92,
         help="PBPAIR's Intra_Th (default: 0.92)",
     )
+    _add_trace_options(sim)
     sim.set_defaults(handler=_cmd_simulate)
 
     compare = commands.add_parser(
@@ -332,6 +422,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="PBPAIR's Intra_Th (default: 0.9)",
     )
     sigma.set_defaults(handler=_cmd_sigma)
+
+    trace = commands.add_parser(
+        "trace", help="render a trace file's per-stage breakdown"
+    )
+    trace.add_argument(
+        "trace_file", metavar="JSONL", help="trace file from a --trace run"
+    )
+    trace.add_argument(
+        "--device",
+        choices=sorted(DEVICE_PROFILES),
+        default="ipaq",
+        help="energy profile for the energy column (default: ipaq)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     info = commands.add_parser("info", help="list schemes/sequences/devices")
     info.set_defaults(handler=_cmd_info)

@@ -57,6 +57,7 @@ from repro.codec.types import (
     MacroblockMode,
 )
 from repro.energy.counters import OperationCounters
+from repro.obs import get_tracer
 from repro.video.frame import Frame
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.resilience
@@ -247,33 +248,36 @@ class Encoder:
         if pre_mask.shape != (mb_rows, mb_cols):
             raise ValueError("strategy pre-ME mask has wrong shape")
 
-        motion = self._estimator.estimate(
-            current,
-            reference,
-            cost_function=self.strategy.me_cost_function(),
-            active=~pre_mask,
-        )
-        self.counters.sad_blocks += motion.candidates_evaluated
-
-        if self.config.half_pel:
-            mvs_half, refined_sads, extra = refine_half_pel(
+        with get_tracer().span("motion_estimation") as me_span:
+            motion = self._estimator.estimate(
                 current,
                 reference,
-                motion.mvs,
-                motion.sads,
-                ~pre_mask,
-                self.config.search_range,
+                cost_function=self.strategy.me_cost_function(),
+                active=~pre_mask,
             )
-            self.counters.sad_blocks += extra
-            motion = MotionField(
-                mvs=mvs_half,
-                sads=refined_sads,
-                candidates_evaluated=motion.candidates_evaluated + extra,
-                candidates_per_mb=motion.candidates_per_mb,
-            )
+            self.counters.sad_blocks += motion.candidates_evaluated
 
-        sad_self_map = sad_self(current)
-        self.counters.sad_blocks += mb_rows * mb_cols  # one pass per MB
+            if self.config.half_pel:
+                mvs_half, refined_sads, extra = refine_half_pel(
+                    current,
+                    reference,
+                    motion.mvs,
+                    motion.sads,
+                    ~pre_mask,
+                    self.config.search_range,
+                )
+                self.counters.sad_blocks += extra
+                motion = MotionField(
+                    mvs=mvs_half,
+                    sads=refined_sads,
+                    candidates_evaluated=motion.candidates_evaluated + extra,
+                    candidates_per_mb=motion.candidates_per_mb,
+                )
+                me_span.add(sad_blocks=extra)
+
+            sad_self_map = sad_self(current)
+            self.counters.sad_blocks += mb_rows * mb_cols  # one pass per MB
+            me_span.add(sad_blocks=mb_rows * mb_cols)
 
         # The generic inter/intra test from the paper's Figure 4:
         # "if (SAD_mv - SAD_Th) > SAD_self then encode as INTRA".
@@ -375,6 +379,12 @@ class Encoder:
             recon_coeffs.reshape(-1, 8, 8), config.use_fixed_point_dct
         )
         self.counters.idct_blocks += mb_rows * mb_cols
+        get_tracer().count(
+            dct_blocks=blocks.shape[0],
+            quant_blocks=mb_rows * mb_cols,
+            dequant_blocks=mb_rows * mb_cols,
+            idct_blocks=mb_rows * mb_cols,
+        )
         decoded_plane = blocks_to_plane(decoded.reshape(mb_rows, mb_cols, 8, 8))
         reconstruction = np.where(
             intra_px,
@@ -402,88 +412,103 @@ class Encoder:
         mb_rows, mb_cols = config.mb_rows, config.mb_cols
         intra_grid = modes == MacroblockMode.INTRA
         n_inter = int((~intra_grid).sum())
+        tracer = get_tracer()
 
-        if n_inter:
-            if config.half_pel:
-                prediction = motion_compensate_half(
-                    self._previous_reconstruction, mvs
-                )
+        with tracer.span("quantize") as quant_span:
+            if n_inter:
+                if config.half_pel:
+                    prediction = motion_compensate_half(
+                        self._previous_reconstruction, mvs
+                    )
+                else:
+                    prediction = motion_compensate(
+                        self._previous_reconstruction, mvs
+                    )
+                self.counters.mc_blocks += n_inter
+                quant_span.add(mc_blocks=n_inter)
             else:
-                prediction = motion_compensate(
-                    self._previous_reconstruction, mvs
-                )
-            self.counters.mc_blocks += n_inter
-        else:
-            prediction = np.zeros_like(current)
+                prediction = np.zeros_like(current)
 
-        current_i = current.astype(np.int64)
-        residual = np.where(
-            np.repeat(np.repeat(intra_grid, 16, axis=0), 16, axis=1),
-            current_i,
-            current_i - prediction.astype(np.int64),
-        )
-
-        # Batch transform: (rows, cols, 4, 8, 8) -> flat block batch.
-        mb_pixels = frame_to_macroblocks(residual)
-        block_batch = macroblocks_to_blocks(mb_pixels).reshape(-1, 8, 8)
-        coefficients = forward_dct(block_batch, config.use_fixed_point_dct)
-        self.counters.dct_blocks += block_batch.shape[0]
-
-        coefficients = coefficients.reshape(mb_rows, mb_cols, 4, 8, 8)
-        levels, recon_coeffs = self._quantize_blocks(coefficients, intra_grid, qp)
-        self.counters.quant_blocks += 4 * mb_rows * mb_cols
-        self.counters.dequant_blocks += 4 * mb_rows * mb_cols
-
-        decoded_blocks = inverse_dct(
-            recon_coeffs.reshape(-1, 8, 8), config.use_fixed_point_dct
-        )
-        self.counters.idct_blocks += 4 * mb_rows * mb_cols
-        decoded_mbs = blocks_to_macroblocks(
-            decoded_blocks.reshape(mb_rows, mb_cols, 4, 8, 8)
-        )
-        decoded_frame = macroblocks_to_frame(decoded_mbs)
-        reconstruction = np.where(
-            np.repeat(np.repeat(intra_grid, 16, axis=0), 16, axis=1),
-            decoded_frame,
-            decoded_frame + prediction.astype(np.int64),
-        )
-        reconstruction = np.clip(reconstruction, 0, 255).astype(np.uint8)
-
-        chroma_recon: Optional[tuple[np.ndarray, np.ndarray]] = None
-        chroma_levels = None
-        if config.chroma:
-            previous = self._previous_chroma or (None, None)
-            chroma_mvs = halfpel_to_pixels(mvs) if config.half_pel else mvs
-            cb_levels, cb_recon = self._encode_chroma_plane(
-                frame.cb, previous[0], intra_grid, chroma_mvs, qp, n_inter
+            current_i = current.astype(np.int64)
+            residual = np.where(
+                np.repeat(np.repeat(intra_grid, 16, axis=0), 16, axis=1),
+                current_i,
+                current_i - prediction.astype(np.int64),
             )
-            cr_levels, cr_recon = self._encode_chroma_plane(
-                frame.cr, previous[1], intra_grid, chroma_mvs, qp, n_inter
-            )
-            chroma_levels = np.concatenate([cb_levels, cr_levels], axis=2)
-            chroma_recon = (cb_recon, cr_recon)
 
-        encode_mb = (
-            encode_macroblock_skippable
-            if config.allow_skip
-            else encode_macroblock
-        )
-        writer = BitWriter()
-        offsets: list[int] = []
-        for r in range(mb_rows):
-            for c in range(mb_cols):
-                offsets.append(writer.bit_length)
-                mb_levels = levels[r, c]
-                if chroma_levels is not None:
-                    mb_levels = np.concatenate([mb_levels, chroma_levels[r, c]])
-                encode_mb(
-                    writer,
-                    frame_type,
-                    modes[r, c],
-                    (int(mvs[r, c, 0]), int(mvs[r, c, 1])),
-                    mb_levels,
+            # Batch transform: (rows, cols, 4, 8, 8) -> flat block batch.
+            mb_pixels = frame_to_macroblocks(residual)
+            block_batch = macroblocks_to_blocks(mb_pixels).reshape(-1, 8, 8)
+            coefficients = forward_dct(block_batch, config.use_fixed_point_dct)
+            self.counters.dct_blocks += block_batch.shape[0]
+
+            coefficients = coefficients.reshape(mb_rows, mb_cols, 4, 8, 8)
+            levels, recon_coeffs = self._quantize_blocks(
+                coefficients, intra_grid, qp
+            )
+            self.counters.quant_blocks += 4 * mb_rows * mb_cols
+            self.counters.dequant_blocks += 4 * mb_rows * mb_cols
+
+            decoded_blocks = inverse_dct(
+                recon_coeffs.reshape(-1, 8, 8), config.use_fixed_point_dct
+            )
+            self.counters.idct_blocks += 4 * mb_rows * mb_cols
+            decoded_mbs = blocks_to_macroblocks(
+                decoded_blocks.reshape(mb_rows, mb_cols, 4, 8, 8)
+            )
+            decoded_frame = macroblocks_to_frame(decoded_mbs)
+            reconstruction = np.where(
+                np.repeat(np.repeat(intra_grid, 16, axis=0), 16, axis=1),
+                decoded_frame,
+                decoded_frame + prediction.astype(np.int64),
+            )
+            reconstruction = np.clip(reconstruction, 0, 255).astype(np.uint8)
+
+            chroma_recon: Optional[tuple[np.ndarray, np.ndarray]] = None
+            chroma_levels = None
+            if config.chroma:
+                previous = self._previous_chroma or (None, None)
+                chroma_mvs = halfpel_to_pixels(mvs) if config.half_pel else mvs
+                cb_levels, cb_recon = self._encode_chroma_plane(
+                    frame.cb, previous[0], intra_grid, chroma_mvs, qp, n_inter
                 )
-        offsets.append(writer.bit_length)
-        self.counters.entropy_bits += writer.bit_length
+                cr_levels, cr_recon = self._encode_chroma_plane(
+                    frame.cr, previous[1], intra_grid, chroma_mvs, qp, n_inter
+                )
+                chroma_levels = np.concatenate([cb_levels, cr_levels], axis=2)
+                chroma_recon = (cb_recon, cr_recon)
+            quant_span.add(
+                dct_blocks=block_batch.shape[0],
+                quant_blocks=4 * mb_rows * mb_cols,
+                dequant_blocks=4 * mb_rows * mb_cols,
+                idct_blocks=4 * mb_rows * mb_cols,
+            )
+
+        with tracer.span("entropy_code") as entropy_span:
+            encode_mb = (
+                encode_macroblock_skippable
+                if config.allow_skip
+                else encode_macroblock
+            )
+            writer = BitWriter()
+            offsets: list[int] = []
+            for r in range(mb_rows):
+                for c in range(mb_cols):
+                    offsets.append(writer.bit_length)
+                    mb_levels = levels[r, c]
+                    if chroma_levels is not None:
+                        mb_levels = np.concatenate(
+                            [mb_levels, chroma_levels[r, c]]
+                        )
+                    encode_mb(
+                        writer,
+                        frame_type,
+                        modes[r, c],
+                        (int(mvs[r, c, 0]), int(mvs[r, c, 1])),
+                        mb_levels,
+                    )
+            offsets.append(writer.bit_length)
+            self.counters.entropy_bits += writer.bit_length
+            entropy_span.add(entropy_bits=writer.bit_length)
 
         return writer.getvalue(), offsets, reconstruction, chroma_recon

@@ -17,7 +17,10 @@ winner (the SAD is what the inter/intra decision needs).
 
 Every estimator reports how many candidate blocks it evaluated; the
 energy model prices those evaluations, which is how "skipping ME"
-becomes an energy saving.
+becomes an energy saving.  The same count is also attached to the
+enclosing trace span (``sad_blocks`` payload via
+:meth:`repro.obs.Tracer.count`) when tracing is enabled, so per-stage
+breakdowns can attribute ME work without re-deriving it.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.codec.blocks import MB
+from repro.obs import get_tracer
 
 #: Cost-function signature: arrays broadcastable to a common shape; must
 #: return a float cost of the same broadcast shape.  ``dy``/``dx`` may be
@@ -167,6 +171,7 @@ class FullSearchMotionEstimator(MotionEstimator):
 
         n_displacements = (2 * srange + 1) ** 2
         per_mb = np.where(active, n_displacements, 0).astype(np.int64)
+        get_tracer().count(sad_blocks=n_displacements * n_active)
         return MotionField(
             mvs=best_mv,
             sads=best_sad,
@@ -287,6 +292,7 @@ class ThreeStepMotionEstimator(MotionEstimator):
         sads[rows_idx, cols_idx] = best_sad
         per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
         per_mb[rows_idx, cols_idx] = evaluated // rows_idx.size
+        get_tracer().count(sad_blocks=evaluated)
         return MotionField(mvs, sads, evaluated, per_mb)
 
 
@@ -424,6 +430,7 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         sads[rows_idx, cols_idx] = best_sad
         per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
         per_mb[rows_idx, cols_idx] = evals_per_mb
+        get_tracer().count(sad_blocks=evaluated)
         return MotionField(mvs, sads, evaluated, per_mb)
 
 

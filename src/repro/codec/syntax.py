@@ -75,7 +75,13 @@ def read_fragment_header(reader: BitReader) -> FragmentHeader:
     qp = reader.read_bits(_QP_BITS)
     first_mb = read_ue(reader)
     mb_count = read_ue(reader) + 1
-    return FragmentHeader(frame_index, frame_type, qp, first_mb, mb_count)
+    try:
+        return FragmentHeader(frame_index, frame_type, qp, first_mb, mb_count)
+    except ValueError as error:
+        # Corrupt bytes can pass the magic check yet carry impossible
+        # field values (qp=0, ...); to the decoder that is a damaged
+        # fragment, not a programming error.
+        raise BitstreamError(f"corrupt fragment header: {error}") from error
 
 
 def encode_macroblock(

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.concealment.base import ConcealmentStrategy
+from repro.obs import get_tracer
 
 
 class CopyConcealment(ConcealmentStrategy):
@@ -29,6 +30,10 @@ class CopyConcealment(ConcealmentStrategy):
     ) -> np.ndarray:
         result = frame.copy()
         lost_rows, lost_cols = np.nonzero(~received)
+        if lost_rows.size:
+            tracer = get_tracer()
+            tracer.count(concealed_mbs=int(lost_rows.size))
+            tracer.metrics.inc("conceal.copy_mbs", int(lost_rows.size))
         for row, col in zip(lost_rows, lost_cols):
             y, x = row * 16, col * 16
             if reference is not None:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.codec.types import MacroblockMode
 from repro.concealment.base import ConcealmentStrategy
 from repro.concealment.copy import CopyConcealment
+from repro.obs import get_tracer
 
 
 class MotionRecoveryConcealment(ConcealmentStrategy):
@@ -51,6 +52,7 @@ class MotionRecoveryConcealment(ConcealmentStrategy):
         padded = np.pad(reference, pad, mode="edge")
 
         lost_rows, lost_cols = np.nonzero(~received)
+        recovered = 0
         for row, col in zip(lost_rows, lost_cols):
             neighbour_mvs = []
             for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
@@ -74,4 +76,7 @@ class MotionRecoveryConcealment(ConcealmentStrategy):
             result[row * 16 : (row + 1) * 16, col * 16 : (col + 1) * 16] = (
                 padded[y : y + 16, x : x + 16]
             )
+            recovered += 1
+        if recovered:
+            get_tracer().metrics.inc("conceal.mv_recovery_mbs", recovered)
         return result

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.concealment.base import ConcealmentStrategy
 from repro.concealment.copy import CopyConcealment
+from repro.obs import get_tracer
 
 
 class SpatialConcealment(ConcealmentStrategy):
@@ -37,6 +38,10 @@ class SpatialConcealment(ConcealmentStrategy):
         result = self._fallback.conceal(frame, received, reference)
         mb_rows, mb_cols = received.shape
         lost_rows, lost_cols = np.nonzero(~received)
+        if lost_rows.size:
+            get_tracer().metrics.inc(
+                "conceal.spatial_mbs", int(lost_rows.size)
+            )
         for row, col in zip(lost_rows, lost_cols):
             patches = []
             weights = []

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.network.loss import LossModel
 from repro.network.packet import Packet
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -56,4 +57,10 @@ class Channel:
             else:
                 self.log.lost_packets.append(packet.sequence_number)
                 self.log.lost_frames.add(packet.frame_index)
+        lost = len(packets) - len(survivors)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count(packets_sent=len(packets), packets_lost=lost)
+            tracer.metrics.inc("channel.packets_sent", len(packets))
+            tracer.metrics.inc("channel.packets_lost", lost)
         return survivors

@@ -1,0 +1,142 @@
+"""Counters, gauges and histograms for traced runs.
+
+A :class:`MetricsRegistry` is the low-rate aggregate companion of the
+span stream: spans answer *when and how long*, the registry answers
+*how much in total* (packets dropped, macroblocks concealed, SAD
+candidates evaluated) without a timestamped record per event.
+
+Process-safety model: registries are **per-process** — each worker of
+:func:`repro.sim.runner.run_grid` owns the registry of its job's
+tracer, snapshots it into the job's JSONL trace file, and the parent
+merges the snapshots (:meth:`MetricsRegistry.merge`).  There is no
+shared-memory mutation across processes to get wrong.  Within a
+process, every mutator takes an internal lock, so a registry may be
+shared between threads (e.g. a future thread-pool runner).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed values (no raw samples kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        count = int(other.get("count", 0))
+        if not count:
+            return
+        self.total += float(other.get("total", 0.0))
+        self.minimum = min(self.minimum, float(other.get("min", 0.0)))
+        self.maximum = max(self.maximum, float(other.get("max", 0.0)))
+        self.count += count
+
+
+class MetricsRegistry:
+    """Named counters (monotonic), gauges (last value), histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramSummary] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = HistogramSummary()
+            histogram.observe(value)
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> HistogramSummary:
+        return self._histograms.get(name, HistogramSummary())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view, stable for JSON export and cross-process merge."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.as_dict() for name, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram summaries add; gauges keep the merged-in
+        value (last writer wins, matching their per-process semantics).
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, summary in snapshot.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = HistogramSummary()
+                histogram.merge(summary)
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The no-op registry carried by the disabled tracer."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None

@@ -33,6 +33,7 @@ from repro.network.biterror import BitErrorChannel
 from repro.network.channel import Channel, ChannelLog
 from repro.network.loss import LossModel, NoLoss
 from repro.network.packet import DEFAULT_MTU, Depacketizer, Packetizer
+from repro.obs import get_tracer
 from repro.resilience.base import ResilienceStrategy
 from repro.video.frame import VideoSequence
 
@@ -218,68 +219,83 @@ def simulate(
     depacketizer = Depacketizer()
     channel = Channel(loss_model)
     energy_model = EnergyModel(config.device)
+    tracer = get_tracer()
 
     records: list[FrameRecord] = []
     decoder_reference: Optional[np.ndarray] = None
     decoder_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
 
-    for frame in sequence:
-        if rate_controller is not None:
-            encoder.quantizer = rate_controller.quantizer
-        encoded = encoder.encode_frame(frame)
-        if rate_controller is not None:
-            rate_controller.observe(encoded.stats.bits)
-        packets = packetizer.packetize(encoded)
-        delivered = channel.transmit(packets)
-        if bit_errors is not None:
-            delivered = bit_errors.corrupt(delivered)
-        fragments = depacketizer.group_by_frame(
-            delivered, frame.index + 1
-        )[frame.index]
+    with tracer.span("simulate") as run_span:
+        for frame in sequence:
+            if rate_controller is not None:
+                encoder.quantizer = rate_controller.quantizer
+            with tracer.span("encode_frame") as encode_span:
+                encoded = encoder.encode_frame(frame)
+                encode_span.add(
+                    bits=encoded.stats.bits,
+                    intra_mbs=encoded.stats.intra_mbs,
+                    me_skipped_mbs=encoded.stats.me_skipped_mbs,
+                )
+            if rate_controller is not None:
+                rate_controller.observe(encoded.stats.bits)
+            with tracer.span("packetize") as packet_span:
+                packets = packetizer.packetize(encoded)
+                packet_span.add(packets=len(packets))
+            with tracer.span("channel"):
+                delivered = channel.transmit(packets)
+                if bit_errors is not None:
+                    delivered = bit_errors.corrupt(delivered)
+            with tracer.span("decode_frame"):
+                fragments = depacketizer.group_by_frame(
+                    delivered, frame.index + 1
+                )[frame.index]
+                result = decoder.decode_frame(
+                    fragments,
+                    decoder_reference,
+                    expected_index=frame.index,
+                    reference_chroma=decoder_chroma,
+                )
+            with tracer.span("conceal"):
+                repaired = concealment.conceal(
+                    result.frame,
+                    result.received,
+                    decoder_reference,
+                    mvs_pixels=result.mvs_pixels,
+                    modes=result.modes,
+                )
+            decoder_reference = repaired
+            # Lost chroma macroblocks already hold the reference copy (the
+            # paper's copy concealment); spatial repair is luma-only.
+            decoder_chroma = result.chroma
 
-        result = decoder.decode_frame(
-            fragments,
-            decoder_reference,
-            expected_index=frame.index,
-            reference_chroma=decoder_chroma,
-        )
-        repaired = concealment.conceal(
-            result.frame,
-            result.received,
-            decoder_reference,
-            mvs_pixels=result.mvs_pixels,
-            modes=result.modes,
-        )
-        decoder_reference = repaired
-        # Lost chroma macroblocks already hold the reference copy (the
-        # paper's copy concealment); spatial repair is luma-only.
-        decoder_chroma = result.chroma
+            with tracer.span("metrics"):
+                records.append(
+                    FrameRecord(
+                        frame_index=frame.index,
+                        frame_type=encoded.frame_type,
+                        size_bytes=encoded.size_bytes,
+                        intra_mbs=encoded.stats.intra_mbs,
+                        me_skipped_mbs=encoded.stats.me_skipped_mbs,
+                        packets_sent=len(packets),
+                        packets_lost=len(packets) - len(delivered),
+                        psnr_encoder=encoded.stats.psnr_reconstructed,
+                        psnr_decoder=psnr(frame.pixels, repaired),
+                        bad_pixels=bad_pixel_count(
+                            frame.pixels, repaired, config.bad_pixel_threshold
+                        ),
+                    )
+                )
 
-        records.append(
-            FrameRecord(
-                frame_index=frame.index,
-                frame_type=encoded.frame_type,
-                size_bytes=encoded.size_bytes,
-                intra_mbs=encoded.stats.intra_mbs,
-                me_skipped_mbs=encoded.stats.me_skipped_mbs,
-                packets_sent=len(packets),
-                packets_lost=len(packets) - len(delivered),
-                psnr_encoder=encoded.stats.psnr_reconstructed,
-                psnr_decoder=psnr(frame.pixels, repaired),
-                bad_pixels=bad_pixel_count(
-                    frame.pixels, repaired, config.bad_pixel_threshold
-                ),
-            )
+        run_span.add(frames=len(records))
+        tracer.metrics.gauge("sim.frames", len(records))
+        return SimulationResult(
+            sequence_name=sequence.name,
+            strategy_name=strategy.name,
+            frames=tuple(records),
+            counters=encoder.counters,
+            energy=energy_model.breakdown(encoder.counters),
+            channel_log=channel.log,
+            size_stats=frame_size_stats([r.size_bytes for r in records]),
+            decoder_counters=decoder.counters,
+            decoder_energy=energy_model.breakdown(decoder.counters),
         )
-
-    return SimulationResult(
-        sequence_name=sequence.name,
-        strategy_name=strategy.name,
-        frames=tuple(records),
-        counters=encoder.counters,
-        energy=energy_model.breakdown(encoder.counters),
-        channel_log=channel.log,
-        size_stats=frame_size_stats([r.size_bytes for r in records]),
-        decoder_counters=decoder.counters,
-        decoder_energy=energy_model.breakdown(decoder.counters),
-    )

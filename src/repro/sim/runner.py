@@ -25,6 +25,12 @@ same grid produces bit-identical results at any worker count — the
 serial path is the ``max_workers=1`` special case of the same code, not
 a separate implementation.
 
+Observability: passing ``trace_dir`` to :func:`run_grid` runs every
+executed cell under a per-job :class:`repro.obs.Tracer`; workers write
+``job-*.jsonl`` trace files (span records cannot ride the result pickle
+without coupling results to tracing) and the parent merges them into
+``trace_dir/trace.jsonl`` once the grid completes.
+
 :func:`run_simulations` is the lower-level sibling used by
 :func:`repro.sim.experiment.sweep` and
 :func:`~repro.sim.experiment.replicate`: it parallelizes already-built
@@ -49,6 +55,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.network.loss import UniformLoss
+from repro.obs import Tracer, merge_job_traces, use_tracer, write_trace
 from repro.resilience.registry import build_strategy
 from repro.sim.pipeline import SimulationConfig, SimulationResult, simulate
 from repro.video.frame import VideoSequence
@@ -381,11 +388,39 @@ def run_job(spec: JobSpec) -> SimulationResult:
     return simulate(sequence, strategy, loss_model=loss_model, config=spec.config)
 
 
-def _execute_job(spec: JobSpec) -> tuple[bool, object, float]:
-    """Worker entry point: never raises, returns a picklable outcome."""
+def _job_trace_id(spec: JobSpec) -> str:
+    """Human-readable trace label for one grid cell."""
+    return (
+        f"{spec.scheme} plr={spec.plr:g} seed={spec.channel_seed} "
+        f"{spec.sequence}"
+    )
+
+
+def _execute_job(
+    spec: JobSpec, trace_dir: Optional[str] = None
+) -> tuple[bool, object, float]:
+    """Worker entry point: never raises, returns a picklable outcome.
+
+    With ``trace_dir``, the job runs under a fresh :class:`Tracer` and
+    leaves its spans in ``trace_dir/job-<hash>.jsonl`` — a per-process
+    file, because :class:`SpanRecord` streams cannot cross the pool
+    boundary any other way without coupling results to tracing.  The
+    parent merges the per-job files after the grid completes.  Tracing
+    is observation-only: the returned result is bit-identical either
+    way.
+    """
     start = time.perf_counter()
     try:
-        result = run_job(spec)
+        if trace_dir is not None:
+            tracer = Tracer(trace_id=_job_trace_id(spec))
+            with use_tracer(tracer):
+                result = run_job(spec)
+            write_trace(
+                Path(trace_dir) / f"job-{spec.content_hash()[:16]}.jsonl",
+                tracer,
+            )
+        else:
+            result = run_job(spec)
         return True, result, time.perf_counter() - start
     except Exception as error:  # noqa: BLE001 - error capture is the contract
         payload = (
@@ -425,6 +460,7 @@ def run_grid(
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
 
@@ -441,6 +477,13 @@ def run_grid(
             :class:`JobFailure` with ``error_type="TimeoutError"``.
             Best-effort: an already-running worker process is not
             killed, and the serial path cannot preempt a job at all.
+        trace_dir: when given, every *executed* cell runs under a
+            :class:`repro.obs.Tracer` and writes a per-job
+            ``job-*.jsonl`` trace into this directory (workers cannot
+            share one file); after the grid completes they are merged
+            into ``trace_dir/trace.jsonl``.  Cache hits execute
+            nothing, so they contribute no spans.  Tracing never
+            changes results.
 
     Returns:
         One :class:`JobResult` or :class:`JobFailure` per input spec,
@@ -449,6 +492,12 @@ def run_grid(
     """
     specs = list(jobs)
     outcomes: dict[int, Union[JobResult, JobFailure]] = {}
+
+    trace_dir_arg: Optional[str] = None
+    if trace_dir is not None:
+        trace_path = Path(trace_dir)
+        trace_path.mkdir(parents=True, exist_ok=True)
+        trace_dir_arg = str(trace_path)
 
     pending: list[int] = []
     for index, spec in enumerate(specs):
@@ -469,22 +518,27 @@ def run_grid(
             cache.put(specs[index].content_hash(), outcome.result)
         outcomes[index] = outcome
 
+    def collect() -> list[Union[JobResult, JobFailure]]:
+        if trace_dir_arg is not None:
+            merge_job_traces(trace_dir_arg)
+        return [outcomes[i] for i in range(len(specs))]
+
     if workers <= 1:
         for index in pending:
-            finish(index, *_execute_job(specs[index]))
-        return [outcomes[i] for i in range(len(specs))]
+            finish(index, *_execute_job(specs[index], trace_dir_arg))
+        return collect()
 
     try:
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     except (NotImplementedError, OSError, PermissionError):
         # No usable process pool on this platform: same results, serially.
         for index in pending:
-            finish(index, *_execute_job(specs[index]))
-        return [outcomes[i] for i in range(len(specs))]
+            finish(index, *_execute_job(specs[index], trace_dir_arg))
+        return collect()
 
     with executor:
         futures = {
-            index: executor.submit(_execute_job, specs[index])
+            index: executor.submit(_execute_job, specs[index], trace_dir_arg)
             for index in pending
         }
         for index in pending:
@@ -508,7 +562,7 @@ def run_grid(
                 continue
             finish(index, ok, payload, elapsed)
 
-    return [outcomes[i] for i in range(len(specs))]
+    return collect()
 
 
 # ---------------------------------------------------------------------------
