@@ -14,13 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.codec.types import CodecConfig
-from repro.concealment.spatial import SpatialConcealment
-from repro.network.loss import UniformLoss
-from repro.resilience.registry import build_strategy
-from repro.sim.pipeline import SimulationConfig, simulate
-from repro.sim.report import format_table
-from repro.video.synthetic import foreman_like
+from repro.api import (
+    CodecConfig,
+    SimulationConfig,
+    SpatialConcealment,
+    UniformLoss,
+    foreman_like,
+    format_table,
+    make_strategy,
+    simulate,
+)
 
 N_FRAMES = 60
 PLR = 0.1
@@ -37,7 +40,7 @@ def _run(sequence, loss_seed=31, config=None, concealment=None, **pbpair_kwargs)
     kwargs.update(pbpair_kwargs)
     return simulate(
         sequence,
-        build_strategy("PBPAIR", **kwargs),
+        strategy=make_strategy("PBPAIR", **kwargs),
         loss_model=UniformLoss(plr=PLR, seed=loss_seed),
         config=config,
         concealment=concealment,
@@ -72,12 +75,14 @@ def test_ablation_probability_aware_me(benchmark, sequence):
     # probability of correctness.  (The end-to-end quality effect is
     # small and loss-pattern dependent, so the assertion targets the
     # mechanism, plus a no-material-harm bound on quality.)
-    from repro.codec.types import FrameType, MacroblockMode
-    from repro.core.correctness import min_sigma_related
-    from repro.core.pbpair import PBPAIRConfig
-    from repro.resilience.pbpair_strategy import PBPAIRStrategy
-    from repro.codec.encoder import Encoder
-    from repro.codec.types import CodecConfig
+    from repro.api import (
+        Encoder,
+        FrameType,
+        MacroblockMode,
+        PBPAIRConfig,
+        PBPAIRStrategy,
+        min_sigma_related,
+    )
 
     class RecordingPBPAIR(PBPAIRStrategy):
         def __init__(self, config):
@@ -276,15 +281,13 @@ def test_ablation_air_selection(benchmark, sequence):
     macroblock a refresh per sweep.  Which wins is content-dependent;
     both must clearly beat no resilience.
     """
-    from repro.resilience.registry import build_strategy
-
     def run():
         out = {}
         for spec in ("NO", "AIR-24", "AIR-24-cyclic"):
             out[spec] = simulate(
                 sequence,
-                build_strategy(spec),
-                UniformLoss(plr=PLR, seed=31),
+                strategy=make_strategy(spec),
+                loss_model=UniformLoss(plr=PLR, seed=31),
             )
         return out
 

@@ -11,10 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.codec.encoder import Encoder
-from repro.codec.types import CodecConfig
-from repro.resilience.registry import build_strategy
-from repro.video.synthetic import foreman_like
+from repro.api import CodecConfig, Encoder, foreman_like, make_strategy
 
 N_FRAMES = 12
 
@@ -37,7 +34,7 @@ def clip():
 )
 def test_encode_throughput(benchmark, clip, spec, kwargs):
     def encode_clip():
-        encoder = Encoder(CodecConfig(), build_strategy(spec, **kwargs))
+        encoder = Encoder(CodecConfig(), make_strategy(spec, **kwargs))
         return sum(ef.size_bytes for ef in encoder.encode_sequence(clip))
 
     total_bytes = benchmark(encode_clip)
@@ -45,11 +42,10 @@ def test_encode_throughput(benchmark, clip, spec, kwargs):
 
 
 def test_decode_throughput(benchmark, clip):
-    from repro.codec.decoder import Decoder
-    from repro.network.packet import Packetizer
+    from repro.api import Decoder, Packetizer
 
     config = CodecConfig()
-    encoder = Encoder(config, build_strategy("NO"))
+    encoder = Encoder(config, make_strategy("NO"))
     encoded = encoder.encode_sequence(clip)
     packetizer = Packetizer(config)
     frames_packets = [

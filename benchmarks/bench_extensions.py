@@ -12,15 +12,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.codec.rate import RateController
-from repro.codec.types import CodecConfig
-from repro.network.biterror import BitErrorChannel
-from repro.network.loss import GilbertElliottLoss, NoLoss, UniformLoss
-from repro.resilience.registry import build_strategy
-from repro.sim.experiment import replicate
-from repro.sim.pipeline import SimulationConfig, simulate
-from repro.sim.report import format_table
-from repro.video.synthetic import foreman_like
+from repro.api import (
+    BitErrorChannel,
+    CodecConfig,
+    GilbertElliottLoss,
+    NoLoss,
+    RateController,
+    SimulationConfig,
+    UniformLoss,
+    foreman_like,
+    format_table,
+    make_strategy,
+    replicate,
+    simulate,
+)
 
 N_FRAMES = 60
 PLR = 0.10
@@ -53,7 +58,7 @@ def test_bursty_channel(benchmark, sequence):
             ):
                 summary = replicate(
                     sequence,
-                    strategy_factory=lambda s=spec, k=kwargs: build_strategy(
+                    strategy_factory=lambda s=spec, k=kwargs: make_strategy(
                         s, **k
                     ),
                     loss_factory=factory,
@@ -107,8 +112,8 @@ def test_bit_error_channel(benchmark, sequence):
             for seed in (5, 6, 7, 8):
                 result = simulate(
                     sequence,
-                    build_strategy(spec, **kwargs),
-                    NoLoss(),
+                    strategy=make_strategy(spec, **kwargs),
+                    loss_model=NoLoss(),
                     bit_errors=BitErrorChannel(ber=2e-4, seed=seed),
                 )
                 series = result.psnr_series()
@@ -149,9 +154,9 @@ def test_half_pel_motion(benchmark, sequence):
             config = SimulationConfig(codec=CodecConfig(half_pel=half))
             result = simulate(
                 sequence,
-                build_strategy("NO"),
-                NoLoss(),
-                config,
+                strategy=make_strategy("NO"),
+                loss_model=NoLoss(),
+                config=config,
             )
             out[label] = result
         return out
@@ -190,8 +195,8 @@ def test_rate_control_with_pbpair(benchmark, sequence):
         controller = RateController(target_bits, base_qp=6)
         return simulate(
             sequence,
-            build_strategy("PBPAIR", intra_th=INTRA_TH, plr=PLR),
-            UniformLoss(plr=PLR, seed=3),
+            strategy=make_strategy("PBPAIR", intra_th=INTRA_TH, plr=PLR),
+            loss_model=UniformLoss(plr=PLR, seed=3),
             rate_controller=controller,
         )
 
@@ -227,9 +232,13 @@ def test_link_congestion(benchmark, sequence):
     link with a real-time playout deadline: the loss pattern is produced
     by each scheme's *own* bitstream shape, not by a random channel.
     """
-    from repro.network.link import BandwidthDeadlineLoss
-    from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
-    from repro.video.synthetic import SyntheticConfig, generate_sequence
+    from repro.api import (
+        BandwidthDeadlineLoss,
+        SyntheticConfig,
+        generate_sequence,
+        match_intra_th_to_size,
+        total_encoded_bytes,
+    )
 
     # Stationary content (no camera pan): steady-state frame sizes are
     # flat, so any burstiness on the link is the refresh pattern's own.
@@ -251,7 +260,7 @@ def test_link_congestion(benchmark, sequence):
     )
 
     def run():
-        target = total_encoded_bytes(steady, build_strategy("PGOP-1"))
+        target = total_encoded_bytes(steady, make_strategy("PGOP-1"))
         intra_th = match_intra_th_to_size(
             steady, target, plr=PLR, max_iterations=8, tolerance=0.03
         )
@@ -273,7 +282,9 @@ def test_link_congestion(benchmark, sequence):
             link = BandwidthDeadlineLoss(
                 kbps=1.18 * mean_kbps, playout_delay_s=0.1, fps=30.0
             )
-            result = simulate(steady, build_strategy(spec, **kwargs), link)
+            result = simulate(
+                steady, strategy=make_strategy(spec, **kwargs), loss_model=link
+            )
             lost_frames = sum(1 for r in result.frames if r.packets_lost > 0)
             rows.append(
                 [
@@ -329,8 +340,8 @@ def test_decoder_energy(benchmark, sequence):
         ):
             result = simulate(
                 sequence,
-                build_strategy(spec, **kwargs),
-                UniformLoss(plr=PLR, seed=3),
+                strategy=make_strategy(spec, **kwargs),
+                loss_model=UniformLoss(plr=PLR, seed=3),
             )
             rows.append(
                 [

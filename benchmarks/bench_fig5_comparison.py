@@ -14,7 +14,7 @@ paper-shaped table.
 from __future__ import annotations
 
 from benchmarks.conftest import FIG5_SCHEMES
-from repro.sim.report import format_table
+from repro.api import format_table
 
 SEQUENCES = ("foreman", "akiyo", "garden")
 

@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.network.loss import ScriptedLoss
-from repro.resilience.registry import build_strategy
-from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
-from repro.sim.pipeline import simulate
-from repro.sim.report import format_series, format_table
-from repro.video.synthetic import foreman_like
+from repro.api import (
+    ScriptedLoss,
+    foreman_like,
+    format_series,
+    format_table,
+    make_strategy,
+    match_intra_th_to_size,
+    simulate,
+    total_encoded_bytes,
+)
 
 N_FRAMES = 50
 #: Loss events e1..e7; e7 (frame 36) is a GOP-8 I-frame (0, 9, 18, 27,
@@ -34,18 +38,18 @@ SCHEMES = ("PBPAIR", "PGOP-1", "GOP-8", "AIR-10")
 @pytest.fixture(scope="module")
 def fig6_results():
     sequence = foreman_like(n_frames=N_FRAMES)
-    target = total_encoded_bytes(sequence, build_strategy("PGOP-1"))
+    target = total_encoded_bytes(sequence, make_strategy("PGOP-1"))
     intra_th = match_intra_th_to_size(
         sequence, target, plr=0.1, max_iterations=8, tolerance=0.03
     )
     results = {}
     for scheme in SCHEMES:
         if scheme == "PBPAIR":
-            strategy = build_strategy("PBPAIR", intra_th=intra_th, plr=0.1)
+            strategy = make_strategy("PBPAIR", intra_th=intra_th, plr=0.1)
         else:
-            strategy = build_strategy(scheme)
+            strategy = make_strategy(scheme)
         results[scheme] = simulate(
-            sequence, strategy, loss_model=ScriptedLoss(LOSS_EVENTS)
+            sequence, strategy=strategy, loss_model=ScriptedLoss(LOSS_EVENTS)
         )
     return results
 
@@ -82,7 +86,7 @@ def test_fig6b_frame_size_variation(benchmark, fig6_results):
     print("\nFig 6(b): per-frame encoded size (bytes)")
     for scheme in SCHEMES:
         print(format_series(scheme.ljust(7), [float(v) for v in series[scheme]], precision=0))
-    from repro.metrics.bitrate import frame_size_stats
+    from repro.api import frame_size_stats
 
     # Frame 0 is a full I-frame for every scheme (the error-free start);
     # smoothness is about steady-state behaviour, so judge frames 1..N.

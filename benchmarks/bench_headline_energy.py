@@ -15,7 +15,7 @@ and consistent across both PDAs.
 from __future__ import annotations
 
 from benchmarks.conftest import FIG5_SCHEMES
-from repro.sim.report import format_table
+from repro.api import format_table
 
 SEQUENCES = ("foreman", "akiyo", "garden")
 BASELINES = ("AIR-24", "GOP-3", "PGOP-3")

@@ -28,10 +28,10 @@ import sys
 import tempfile
 import time
 
-from repro.sim.pipeline import SimulationConfig
-from repro.sim.runner import (
+from repro.api import (
     JobSpec,
     ResultCache,
+    SimulationConfig,
     build_grid,
     run_grid,
 )

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.network.loss import UniformLoss
-from repro.resilience.registry import build_strategy
-from repro.sim.pipeline import simulate
-from repro.sim.report import format_table
-from repro.video.synthetic import foreman_like
+from repro.api import (
+    UniformLoss,
+    foreman_like,
+    format_table,
+    make_strategy,
+    simulate,
+)
 
 N_FRAMES = 60
 THRESHOLDS = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
@@ -31,10 +33,10 @@ def sweep_results():
     grid = {}
     for plr in PLRS:
         for th in THRESHOLDS:
-            strategy = build_strategy("PBPAIR", intra_th=th, plr=plr)
+            strategy = make_strategy("PBPAIR", intra_th=th, plr=plr)
             grid[(plr, th)] = simulate(
                 sequence,
-                strategy,
+                strategy=strategy,
                 loss_model=UniformLoss(plr=plr, seed=77),
             )
     return grid

@@ -17,13 +17,18 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.energy.model import EnergyModel
-from repro.energy.profiles import IPAQ_H5555, ZAURUS_SL5600
-from repro.network.loss import UniformLoss
-from repro.resilience.registry import build_strategy
-from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
-from repro.sim.pipeline import SimulationConfig, simulate
-from repro.video.synthetic import SEQUENCE_GENERATORS
+from repro.api import (
+    EnergyModel,
+    IPAQ_H5555,
+    SEQUENCE_GENERATORS,
+    SimulationConfig,
+    UniformLoss,
+    ZAURUS_SL5600,
+    make_strategy,
+    match_intra_th_to_size,
+    simulate,
+    total_encoded_bytes,
+)
 
 #: Frames per clip (paper: 300).
 N_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "150"))
@@ -56,7 +61,7 @@ def _calibrate_intra_th(sequence) -> float:
     clip: a prefix would miss FOREMAN's late camera pan and transfer a
     threshold that overshoots once the pan starts.
     """
-    target = total_encoded_bytes(sequence, build_strategy(SIZE_MATCH_TARGET))
+    target = total_encoded_bytes(sequence, make_strategy(SIZE_MATCH_TARGET))
     return match_intra_th_to_size(
         sequence, target, plr=PLR, max_iterations=9, tolerance=0.02
     )
@@ -83,14 +88,14 @@ def fig5_results(sequences, calibrated_intra_th):
     for seq_name, sequence in sequences.items():
         for scheme in FIG5_SCHEMES:
             if scheme == "PBPAIR":
-                strategy = build_strategy(
+                strategy = make_strategy(
                     "PBPAIR", intra_th=calibrated_intra_th[seq_name], plr=PLR
                 )
             else:
-                strategy = build_strategy(scheme)
+                strategy = make_strategy(scheme)
             result = simulate(
                 sequence,
-                strategy,
+                strategy=strategy,
                 loss_model=UniformLoss(plr=PLR, seed=LOSS_SEED),
                 config=SimulationConfig(device=IPAQ_H5555),
             )

@@ -21,14 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     CodecConfig,
     Encoder,
     PBPAIRConfig,
     PBPAIRStrategy,
+    SyntheticConfig,
+    generate_sequence,
     intra_th_for_plr_change,
 )
-from repro.video.synthetic import SyntheticConfig, generate_sequence
 
 #: (start_frame, true PLR) schedule of the degrading channel.
 PLR_SCHEDULE = ((0, 0.05), (60, 0.20), (120, 0.10))

@@ -20,7 +20,7 @@ import sys
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     CodecConfig,
     Encoder,
     EnergyBudgetController,

@@ -15,16 +15,16 @@ Usage::
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     CopyConcealment,
     GilbertElliottLoss,
     SpatialConcealment,
     UniformLoss,
-    build_strategy,
     foreman_like,
+    format_table,
+    make_strategy,
     simulate,
 )
-from repro.sim.report import format_table
 
 N_FRAMES = 90
 PLR = 0.10
@@ -62,7 +62,7 @@ def main() -> None:
             ):
                 result = simulate(
                     video,
-                    build_strategy(spec, **kwargs),
+                    strategy=make_strategy(spec, **kwargs),
                     loss_model=channel_factory(),
                     concealment=concealment_cls(),
                 )

@@ -23,21 +23,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    Channel,
     CodecConfig,
     CopyConcealment,
     Decoder,
+    Depacketizer,
     Encoder,
+    Frame,
     Packetizer,
+    PBPAIRConfig,
+    PBPAIRStrategy,
+    SyntheticConfig,
     UniformLoss,
+    generate_sequence,
+    write_ppm,
 )
-from repro.network.channel import Channel
-from repro.network.packet import Depacketizer
-from repro.resilience.pbpair_strategy import PBPAIRStrategy
-from repro.core.pbpair import PBPAIRConfig
-from repro.video.frame import Frame
-from repro.video.io import write_ppm
-from repro.video.synthetic import SyntheticConfig, generate_sequence
 
 N_FRAMES = 40
 SAMPLE_EVERY = 5

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import (
+from repro.api import (
     PBPAIRConfig,
     PBPAIRStrategy,
     UniformLoss,
@@ -33,7 +33,9 @@ def main(n_frames: int = 60) -> None:
         )
     )
     print("Simulating: encode -> packetize -> 10% loss -> decode -> conceal")
-    result = simulate(video, strategy, loss_model=UniformLoss(plr=0.10, seed=1))
+    result = simulate(
+        video, strategy=strategy, loss_model=UniformLoss(plr=0.10, seed=1)
+    )
 
     print()
     print(f"  frames encoded        : {result.n_frames}")

@@ -14,9 +14,15 @@ from __future__ import annotations
 
 import sys
 
-from repro import SEQUENCE_GENERATORS, UniformLoss, build_strategy, simulate
-from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
-from repro.sim.report import format_table
+from repro.api import (
+    SEQUENCE_GENERATORS,
+    UniformLoss,
+    format_table,
+    make_strategy,
+    match_intra_th_to_size,
+    simulate,
+    total_encoded_bytes,
+)
 
 PLR = 0.10
 SCHEMES = ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24")
@@ -26,7 +32,7 @@ def main(sequence_name: str = "foreman", n_frames: int = 90) -> None:
     video = SEQUENCE_GENERATORS[sequence_name](n_frames)
 
     print(f"Calibrating PBPAIR's Intra_Th to PGOP-3's size on {video.name} ...")
-    target = total_encoded_bytes(video, build_strategy("PGOP-3"))
+    target = total_encoded_bytes(video, make_strategy("PGOP-3"))
     intra_th = match_intra_th_to_size(
         video, target, plr=PLR, max_iterations=8
     )
@@ -35,11 +41,11 @@ def main(sequence_name: str = "foreman", n_frames: int = 90) -> None:
     rows = []
     for spec in SCHEMES:
         if spec == "PBPAIR":
-            strategy = build_strategy(spec, intra_th=intra_th, plr=PLR)
+            strategy = make_strategy(spec, intra_th=intra_th, plr=PLR)
         else:
-            strategy = build_strategy(spec)
+            strategy = make_strategy(spec)
         result = simulate(
-            video, strategy, loss_model=UniformLoss(plr=PLR, seed=11)
+            video, strategy=strategy, loss_model=UniformLoss(plr=PLR, seed=11)
         )
         rows.append(
             [

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CodecConfig, Encoder, PBPAIRConfig
-from repro.core.instrumentation import InstrumentedPBPAIRStrategy, sigma_heatmap
-from repro.core.correctness import refresh_interval
-from repro.video.synthetic import SyntheticConfig, generate_sequence
+from repro.api import (
+    CodecConfig,
+    Encoder,
+    InstrumentedPBPAIRStrategy,
+    PBPAIRConfig,
+    SyntheticConfig,
+    generate_sequence,
+    refresh_interval,
+    sigma_heatmap,
+)
 
 N_FRAMES = 36
 CHECKPOINTS = (4, 12, 24, 35)

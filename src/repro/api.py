@@ -24,6 +24,19 @@ Two kinds of names live here:
   (:class:`SimulationConfig`, :class:`ExperimentSpec`, ...), re-exported
   unchanged.
 
+The codec itself is part of the facade: :func:`encode_sequence` and
+:func:`decode_stream` cover the common encode/decode round trip with
+keyword-only options, and the :class:`Frame`/:class:`VideoSequence`/
+:class:`EncodedFrame`/:class:`DecodeResult` types travel with them::
+
+    encoded = api.encode_sequence(video, strategy="PGOP-3")
+    decoded = api.decode_stream(encoded)          # lossless round trip
+
+Lower-level classes (:class:`Encoder`, :class:`Decoder`,
+:class:`Packetizer`, loss models, the energy model, ...) are
+re-exported for scripts that drive the pieces directly; their names
+here are stable even when the implementing module moves.
+
 Observability rides along: :class:`Tracer`, :func:`use_tracer`,
 :func:`write_trace`, :func:`load_trace` and :func:`trace_summary` are
 part of the facade so traced runs do not need internal imports either.
@@ -31,9 +44,48 @@ part of the facade so traced runs do not need internal imports either.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
-from repro.network.loss import LossModel, UniformLoss
+from repro.codec.decoder import Decoder, DecodeResult
+from repro.codec.encoder import Encoder
+from repro.codec.rate import RateController
+from repro.codec.types import (
+    CodecConfig,
+    EncodedFrame,
+    FrameType,
+    MacroblockMode,
+)
+from repro.concealment import (
+    CopyConcealment,
+    MotionRecoveryConcealment,
+    SpatialConcealment,
+)
+from repro.concealment.base import ConcealmentStrategy
+from repro.core.adaptation import (
+    EnergyBudgetController,
+    intra_th_for_plr_change,
+)
+from repro.core.correctness import min_sigma_related, refresh_interval
+from repro.core.instrumentation import (
+    InstrumentedPBPAIRStrategy,
+    sigma_heatmap,
+)
+from repro.core.pbpair import PBPAIRConfig
+from repro.energy.model import EnergyModel, OperationCounters
+from repro.energy.profiles import DEVICE_PROFILES, IPAQ_H5555, ZAURUS_SL5600
+from repro.metrics.bitrate import frame_size_stats
+from repro.network.biterror import BitErrorChannel
+from repro.network.channel import Channel
+from repro.network.link import BandwidthDeadlineLoss
+from repro.network.loss import (
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    ScriptedLoss,
+    TraceLoss,
+    UniformLoss,
+)
+from repro.network.packet import Depacketizer, Packetizer
 from repro.obs import (
     MetricsRegistry,
     TraceData,
@@ -46,12 +98,14 @@ from repro.obs import (
     write_trace,
 )
 from repro.resilience.base import ResilienceStrategy
+from repro.resilience.pbpair_strategy import PBPAIRStrategy
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
 from repro.sim.experiment import (
     ExperimentResult,
     ExperimentSpec,
     ReplicationSummary,
     match_intra_th_to_size,
+    total_encoded_bytes,
 )
 from repro.sim.experiment import comparison_specs as _comparison_specs
 from repro.sim.experiment import replicate as _replicate
@@ -63,8 +117,18 @@ from repro.sim.pipeline import (
     SimulationResult,
 )
 from repro.sim.pipeline import simulate as _simulate
-from repro.video.frame import VideoSequence
-from repro.video.synthetic import SEQUENCE_GENERATORS
+from repro.sim.report import format_series, format_table
+from repro.sim.runner import JobSpec, ResultCache, build_grid, run_grid
+from repro.video.frame import Frame, VideoSequence
+from repro.video.io import write_ppm
+from repro.video.synthetic import (
+    SEQUENCE_GENERATORS,
+    SyntheticConfig,
+    akiyo_like,
+    foreman_like,
+    garden_like,
+    generate_sequence,
+)
 
 
 def simulate(
@@ -75,18 +139,33 @@ def simulate(
     plr: Optional[float] = None,
     seed: int = 1,
     config: Optional[SimulationConfig] = None,
+    concealment: Optional[ConcealmentStrategy] = None,
+    rate_controller: Optional[RateController] = None,
+    bit_errors: Optional[BitErrorChannel] = None,
 ) -> SimulationResult:
     """Run one scheme over one sequence and a lossy channel.
 
     Pass either a ``loss_model`` or a ``plr`` (which builds a
     :class:`~repro.network.loss.UniformLoss` with ``seed``); passing
     both is an error, passing neither simulates a loss-free channel.
+    ``concealment`` overrides the decoder-side concealment strategy
+    (copy concealment by default); ``rate_controller`` and
+    ``bit_errors`` enable frame-level QP control and post-delivery bit
+    corruption, as in the internal pipeline.
     """
     if loss_model is not None and plr is not None:
         raise ValueError("pass loss_model or plr, not both")
     if loss_model is None and plr is not None:
         loss_model = UniformLoss(plr=plr, seed=seed)
-    return _simulate(sequence, strategy, loss_model=loss_model, config=config)
+    return _simulate(
+        sequence,
+        strategy,
+        loss_model=loss_model,
+        config=config,
+        concealment=concealment,
+        rate_controller=rate_controller,
+        bit_errors=bit_errors,
+    )
 
 
 def run_experiment(
@@ -158,6 +237,64 @@ def make_strategy(spec: str, **kwargs) -> ResilienceStrategy:
     return build_strategy(spec, **kwargs)
 
 
+def encode_sequence(
+    sequence: Iterable[Frame],
+    *,
+    strategy: Union[str, ResilienceStrategy] = "NO",
+    config: Optional[CodecConfig] = None,
+) -> list[EncodedFrame]:
+    """Encode a sequence of frames; no channel is involved.
+
+    ``strategy`` is either a scheme spec string (``"NO"``, ``"GOP-3"``,
+    ``"PBPAIR"``, ...) or an already-built
+    :class:`~repro.resilience.base.ResilienceStrategy`.  Returns one
+    :class:`EncodedFrame` per input frame, each carrying the exact
+    bitstream payload plus encoder-side metadata.
+    """
+    if isinstance(strategy, str):
+        strategy = build_strategy(strategy)
+    encoder = Encoder(config or CodecConfig(), strategy)
+    return encoder.encode_sequence(sequence)
+
+
+def decode_stream(
+    frames: Iterable[Union[EncodedFrame, Sequence[bytes]]],
+    *,
+    config: Optional[CodecConfig] = None,
+) -> list[DecodeResult]:
+    """Decode a stream of frames in display order.
+
+    Each item is either an :class:`EncodedFrame` (decoded losslessly —
+    it is packetized internally and every fragment is delivered) or a
+    list of surviving fragment payloads for one frame, as produced by
+    :class:`Packetizer` after channel loss.  The decoder's prediction
+    loop is chained across frames exactly as in the simulation
+    pipeline; lost macroblocks hold the concealment seed.
+    """
+    config = config or CodecConfig()
+    packetizer = Packetizer(config)
+    decoder = Decoder(config)
+    results: list[DecodeResult] = []
+    reference = None
+    reference_chroma = None
+    for index, item in enumerate(frames):
+        if isinstance(item, EncodedFrame):
+            fragments = [p.payload for p in packetizer.packetize(item)]
+            index = item.frame_index
+        else:
+            fragments = list(item)
+        result = decoder.decode_frame(
+            fragments,
+            reference,
+            expected_index=index,
+            reference_chroma=reference_chroma,
+        )
+        results.append(result)
+        reference = result.frame
+        reference_chroma = result.chroma
+    return results
+
+
 def make_sequence(name: str, *, n_frames: int = 90) -> VideoSequence:
     """Build one of the bundled synthetic test clips by name."""
     try:
@@ -180,13 +317,80 @@ __all__ = [
     "make_strategy",
     "make_sequence",
     "match_intra_th_to_size",
-    # types those functions accept / return
+    "total_encoded_bytes",
+    # codec entry points (keyword-only options)
+    "encode_sequence",
+    "decode_stream",
+    # codec types and classes
+    "CodecConfig",
+    "Frame",
+    "VideoSequence",
+    "EncodedFrame",
+    "DecodeResult",
+    "FrameType",
+    "MacroblockMode",
+    "Encoder",
+    "Decoder",
+    "RateController",
+    # harness types
     "SimulationConfig",
     "SimulationResult",
     "FrameRecord",
     "ExperimentSpec",
     "ExperimentResult",
     "ReplicationSummary",
+    # network: packetization, channels and loss models
+    "Packetizer",
+    "Depacketizer",
+    "Channel",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "ScriptedLoss",
+    "TraceLoss",
+    "GilbertElliottLoss",
+    "BandwidthDeadlineLoss",
+    "BitErrorChannel",
+    # resilience strategies
+    "ResilienceStrategy",
+    "STRATEGY_BUILDERS",
+    "PBPAIRStrategy",
+    "PBPAIRConfig",
+    "InstrumentedPBPAIRStrategy",
+    "sigma_heatmap",
+    "refresh_interval",
+    "min_sigma_related",
+    # concealment
+    "ConcealmentStrategy",
+    "CopyConcealment",
+    "MotionRecoveryConcealment",
+    "SpatialConcealment",
+    # encoder-side adaptation controllers
+    "EnergyBudgetController",
+    "intra_th_for_plr_change",
+    # energy model and device profiles
+    "EnergyModel",
+    "OperationCounters",
+    "DEVICE_PROFILES",
+    "IPAQ_H5555",
+    "ZAURUS_SL5600",
+    # parallel experiment runner
+    "JobSpec",
+    "ResultCache",
+    "build_grid",
+    "run_grid",
+    # video sources and IO
+    "SyntheticConfig",
+    "generate_sequence",
+    "SEQUENCE_GENERATORS",
+    "foreman_like",
+    "akiyo_like",
+    "garden_like",
+    "write_ppm",
+    # metrics and reporting
+    "frame_size_stats",
+    "format_table",
+    "format_series",
     # observability
     "Tracer",
     "TraceData",

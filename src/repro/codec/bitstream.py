@@ -1,29 +1,79 @@
-"""Bit-level bitstream writer and reader.
+"""Word-level bitstream writer and reader.
 
 The VLC layer of the codec needs true bit-granular I/O: the paper's error
 model operates on the resulting byte stream, and the decoder must detect
 truncated or corrupt streams gracefully (a single bit error in VLC data
 desynchronizes everything after it — the motivation for intra refresh).
 
-``BitWriter`` accumulates bits MSB-first; ``BitReader`` consumes them and
-raises :class:`BitstreamError` instead of returning garbage when the
-stream ends early, so the decoder can fall back to concealment.
+Both ends used to work one bit at a time; profiling showed that made
+entropy coding the dominant cost of the whole pipeline (~600k Python
+calls for 8 QCIF frames).  The substrate is now word-level but
+**bit-identical**:
+
+* :class:`BitWriter` accumulates MSB-first into an unbounded integer and
+  flushes full bytes in bulk via ``int.to_bytes``; whole codeword
+  batches arrive as ``(value, width)`` arrays, are expanded to a bit
+  vector in numpy (:func:`pack_codeword_bits`) and packed eight at a
+  time with ``np.packbits``.
+* :class:`BitReader` refills a 64-bit window from the byte string and
+  serves ``read_bits``/``read_unary``/``read_exp_golomb`` by shifting
+  that window, using a precomputed 256-entry leading-zero table to scan
+  Exp-Golomb prefixes a byte at a time.  It raises
+  :class:`BitstreamError` instead of returning garbage when the stream
+  ends early, so the decoder can fall back to concealment.
+* :func:`append_bit_slice` copies arbitrary bit ranges through one
+  big-integer shift instead of a per-bit loop (the packetizer's hot
+  path).
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+#: Flush the writer's pending integer once it holds this many bits, so
+#: it stays a few machine words instead of growing without bound.
+_FLUSH_THRESHOLD = 4096
+
+#: Leading zeros of each byte value (8 for 0) — the Exp-Golomb prefix
+#: scanner consumes zero runs one table lookup per byte.
+_LEADING_ZEROS_8 = tuple(8 - value.bit_length() for value in range(256))
 
 
 class BitstreamError(Exception):
     """Raised when a bitstream is exhausted or structurally invalid."""
 
 
+def pack_codeword_bits(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Expand ``(value, width)`` codeword pairs into one MSB-first bit vector.
+
+    The workhorse of the batched VLC encoder: a whole macroblock layer's
+    codewords (coded-block flags, Exp-Golomb run/level pairs, LAST bits)
+    become a single ``uint8`` 0/1 array, ready for ``np.packbits``.
+    Values must be non-negative and fit their widths; widths must be
+    positive (zero-width codewords carry no bits and must be filtered
+    out by the caller).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    total = int(widths.sum())
+    ends = np.cumsum(widths)
+    owner = np.repeat(np.arange(values.size), widths)
+    position = np.arange(total) - (ends - widths)[owner]
+    shift = widths[owner] - 1 - position
+    return ((values[owner] >> shift) & 1).astype(np.uint8)
+
+
 class BitWriter:
     """Accumulates bits most-significant-bit first."""
 
+    __slots__ = ("_buffer", "_pending", "_pending_bits", "_total_bits")
+
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._accumulator = 0
-        self._bit_count = 0
+        self._pending = 0  # the last _pending_bits bits, MSB-first
+        self._pending_bits = 0
         self._total_bits = 0
 
     @property
@@ -31,72 +81,161 @@ class BitWriter:
         """Number of bits written so far (before padding)."""
         return self._total_bits
 
+    def _flush_full_bytes(self) -> None:
+        remainder = self._pending_bits & 7
+        n_bytes = (self._pending_bits - remainder) >> 3
+        if n_bytes:
+            self._buffer += (self._pending >> remainder).to_bytes(n_bytes, "big")
+            self._pending &= (1 << remainder) - 1
+            self._pending_bits = remainder
+
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit}")
-        self._accumulator = (self._accumulator << 1) | bit
-        self._bit_count += 1
+        self._pending = (self._pending << 1) | int(bit)
+        self._pending_bits += 1
         self._total_bits += 1
-        if self._bit_count == 8:
-            self._buffer.append(self._accumulator)
-            self._accumulator = 0
-            self._bit_count = 0
+        if self._pending_bits >= _FLUSH_THRESHOLD:
+            self._flush_full_bytes()
 
     def write_bits(self, value: int, width: int) -> None:
         """Append ``width`` bits of the unsigned integer ``value``."""
+        value = int(value)
+        width = int(width)
         if width < 0:
             raise ValueError("width must be >= 0")
-        if value < 0 or (width < 64 and value >> width):
+        if value < 0 or value >> width:
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        self._pending = (self._pending << width) | value
+        self._pending_bits += width
+        self._total_bits += width
+        if self._pending_bits >= _FLUSH_THRESHOLD:
+            self._flush_full_bytes()
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` zero bits followed by a one bit."""
         if value < 0:
             raise ValueError("unary value must be >= 0")
-        for _ in range(value):
-            self.write_bit(0)
-        self.write_bit(1)
+        self.write_bits(1, int(value) + 1)
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        """Append a ``uint8`` 0/1 array of bits in one batched operation."""
+        bits = np.ascontiguousarray(bits, dtype=np.uint8)
+        count = bits.size
+        if count == 0:
+            return
+        self._flush_full_bytes()
+        if self._pending_bits:
+            # Prepend the sub-byte remainder so packbits sees one stream.
+            pending = self._pending
+            lead = np.array(
+                [
+                    (pending >> (self._pending_bits - 1 - index)) & 1
+                    for index in range(self._pending_bits)
+                ],
+                dtype=np.uint8,
+            )
+            bits = np.concatenate([lead, bits])
+            self._pending = 0
+            self._pending_bits = 0
+        tail = bits.size & 7
+        body = bits[: bits.size - tail]
+        if body.size:
+            self._buffer += np.packbits(body).tobytes()
+        pending = 0
+        for bit in bits[bits.size - tail :]:
+            pending = (pending << 1) | int(bit)
+        self._pending = pending
+        self._pending_bits = tail
+        self._total_bits += count
+
+    def write_codewords(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Append a batch of ``(value, width)`` codewords MSB-first."""
+        self.write_bit_array(pack_codeword_bits(values, widths))
 
     def getvalue(self) -> bytes:
         """Return the stream padded with zero bits to a byte boundary."""
         out = bytearray(self._buffer)
-        if self._bit_count:
-            out.append(self._accumulator << (8 - self._bit_count))
+        if self._pending_bits:
+            pad = (-self._pending_bits) & 7
+            out += (self._pending << pad).to_bytes(
+                (self._pending_bits + pad) >> 3, "big"
+            )
         return bytes(out)
 
 
+def build_word_index(data: bytes) -> list[int]:
+    """64-bit big-endian windows of ``data`` at every byte offset.
+
+    ``words[b]`` holds bits ``[8 b, 8 b + 64)`` of the stream, zero-padded
+    past the end: the random-access view the batch VLD walks with plain
+    integer arithmetic instead of a stateful reader window.  Because the
+    padding is all zeros, a one bit found in any window is always a real
+    data bit.
+    """
+    if not data:
+        return []
+    arr = np.frombuffer(data, dtype=np.uint8)
+    padded = np.concatenate([arr, np.zeros(8, dtype=np.uint8)])
+    windows = np.lib.stride_tricks.sliding_window_view(padded, 8)[: arr.size]
+    weights = np.array([1 << (8 * i) for i in range(7, -1, -1)], dtype=np.uint64)
+    return (windows * weights).sum(axis=1, dtype=np.uint64).tolist()
+
+
 class BitReader:
-    """Reads bits MSB-first from a byte string."""
+    """Reads bits MSB-first from a byte string via a word-sized window."""
+
+    __slots__ = ("_data", "_size", "_byte_pos", "_window", "_window_bits")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
-        self._byte_pos = 0
-        self._bit_pos = 0  # bits consumed from the current byte
+        self._size = len(data)
+        self._byte_pos = 0  # bytes already pulled into the window
+        self._window = 0  # the next _window_bits bits, MSB-first
+        self._window_bits = 0
+
+    @property
+    def data(self) -> bytes:
+        """The underlying byte string (for batch decoders that index it)."""
+        return self._data
 
     @property
     def bits_consumed(self) -> int:
-        return self._byte_pos * 8 + self._bit_pos
+        return self._byte_pos * 8 - self._window_bits
 
     @property
     def bits_remaining(self) -> int:
-        return len(self._data) * 8 - self.bits_consumed
+        return self._size * 8 - self.bits_consumed
+
+    def _refill(self) -> None:
+        """Pull up to eight more bytes into the (near-empty) window."""
+        take = self._size - self._byte_pos
+        if take > 8:
+            take = 8
+        chunk = self._data[self._byte_pos : self._byte_pos + take]
+        self._window = (self._window << (take * 8)) | int.from_bytes(
+            chunk, "big"
+        )
+        self._window_bits += take * 8
+        self._byte_pos += take
 
     def read_bit(self) -> int:
-        if self._byte_pos >= len(self._data):
-            raise BitstreamError("bitstream exhausted")
-        byte = self._data[self._byte_pos]
-        bit = (byte >> (7 - self._bit_pos)) & 1
-        self._bit_pos += 1
-        if self._bit_pos == 8:
-            self._bit_pos = 0
-            self._byte_pos += 1
+        window_bits = self._window_bits
+        if not window_bits:
+            if self._byte_pos >= self._size:
+                raise BitstreamError("bitstream exhausted")
+            self._refill()
+            window_bits = self._window_bits
+        window_bits -= 1
+        bit = self._window >> window_bits
+        self._window &= (1 << window_bits) - 1
+        self._window_bits = window_bits
         return bit
 
     def read_bits(self, width: int) -> int:
         """Read ``width`` bits as an unsigned integer."""
+        width = int(width)
         if width < 0:
             raise ValueError("width must be >= 0")
         if width > self.bits_remaining:
@@ -104,8 +243,18 @@ class BitReader:
                 f"requested {width} bits, only {self.bits_remaining} remain"
             )
         value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
+        remaining = width
+        while remaining:
+            window_bits = self._window_bits
+            if not window_bits:
+                self._refill()
+                window_bits = self._window_bits
+            take = window_bits if window_bits < remaining else remaining
+            window_bits -= take
+            value = (value << take) | (self._window >> window_bits)
+            self._window &= (1 << window_bits) - 1
+            self._window_bits = window_bits
+            remaining -= take
         return value
 
     def skip_bits(self, width: int) -> None:
@@ -115,7 +264,52 @@ class BitReader:
                 f"cannot skip {width} bits, only {self.bits_remaining} remain"
             )
         consumed = self.bits_consumed + width
-        self._byte_pos, self._bit_pos = divmod(consumed, 8)
+        byte_pos, bit_offset = divmod(consumed, 8)
+        if bit_offset:
+            self._byte_pos = byte_pos + 1
+            self._window_bits = 8 - bit_offset
+            self._window = self._data[byte_pos] & ((1 << self._window_bits) - 1)
+        else:
+            self._byte_pos = byte_pos
+            self._window = 0
+            self._window_bits = 0
+
+    def _count_prefix_zeros(self, limit: int) -> int:
+        """Consume a zero run and its terminating one bit; return the run.
+
+        Scans the window at most a byte per step through the precomputed
+        leading-zero table.  Raises :class:`BitstreamError` once the run
+        exceeds ``limit`` zeros (corrupt stream) or the data ends before
+        the terminating one bit.
+        """
+        zeros = 0
+        while True:
+            window_bits = self._window_bits
+            if not window_bits:
+                if self._byte_pos >= self._size:
+                    raise BitstreamError("bitstream exhausted")
+                self._refill()
+                window_bits = self._window_bits
+            window = self._window
+            peek = window_bits if window_bits < 8 else 8
+            chunk = (window >> (window_bits - peek)) << (8 - peek)
+            leading = _LEADING_ZEROS_8[chunk]
+            if leading >= peek:
+                # Every peeked bit is zero: consume them and keep going.
+                zeros += peek
+                self._window_bits = window_bits - peek
+                self._window = window & ((1 << self._window_bits) - 1)
+            else:
+                zeros += leading
+                # Consume the zeros and the terminating one bit.
+                self._window_bits = window_bits - leading - 1
+                self._window = window & ((1 << self._window_bits) - 1)
+            if zeros > limit:
+                raise BitstreamError(
+                    f"zero run exceeded {limit} (corrupt stream)"
+                )
+            if leading < peek:
+                return zeros
 
     def read_unary(self, max_zeros: int = 64) -> int:
         """Read a unary codeword; guards against runaway zero runs.
@@ -124,13 +318,34 @@ class BitReader:
         guard turns that into a :class:`BitstreamError` rather than an
         unbounded scan.
         """
-        zeros = 0
-        while True:
-            if self.read_bit():
-                return zeros
-            zeros += 1
-            if zeros > max_zeros:
-                raise BitstreamError(f"unary run exceeded {max_zeros} zeros")
+        try:
+            return self._count_prefix_zeros(max_zeros)
+        except BitstreamError as error:
+            if "zero run exceeded" in str(error):
+                raise BitstreamError(
+                    f"unary run exceeded {max_zeros} zeros"
+                ) from None
+            raise
+
+    def read_exp_golomb(self) -> int:
+        """Read one unsigned Exp-Golomb codeword (the VLD fast path).
+
+        Equivalent to counting the zero prefix bit by bit and then
+        reading ``zeros + 1`` payload bits, but the prefix scan runs a
+        byte at a time off the leading-zero table.  A prefix longer than
+        32 zeros is rejected as corrupt.
+        """
+        try:
+            zeros = self._count_prefix_zeros(32)
+        except BitstreamError as error:
+            if "zero run exceeded" in str(error):
+                raise BitstreamError(
+                    "Exp-Golomb prefix too long (corrupt stream)"
+                ) from None
+            raise
+        if not zeros:
+            return 0
+        return ((1 << zeros) | self.read_bits(zeros)) - 1
 
 
 def append_bit_slice(
@@ -139,21 +354,23 @@ def append_bit_slice(
     """Append bits ``[start_bit, start_bit + n_bits)`` of ``data`` to a writer.
 
     Used by the packetizer to split a frame's macroblock layer at
-    (bit-granular) macroblock boundaries without re-encoding.
+    (bit-granular) macroblock boundaries without re-encoding.  The whole
+    slice moves as one big-integer shift — byte-aligned or not — rather
+    than a bit-at-a-time copy.
     """
     if start_bit < 0 or n_bits < 0:
         raise ValueError("start_bit and n_bits must be non-negative")
-    if start_bit + n_bits > len(data) * 8:
+    total_bits = len(data) * 8
+    if start_bit + n_bits > total_bits:
         raise BitstreamError(
             f"bit slice [{start_bit}, {start_bit + n_bits}) exceeds "
-            f"{len(data) * 8} available bits"
+            f"{total_bits} available bits"
         )
-    reader = BitReader(data)
-    reader.skip_bits(start_bit)
-    # Copy in byte-sized gulps where possible for speed.
-    remaining = n_bits
-    while remaining >= 8:
-        writer.write_bits(reader.read_bits(8), 8)
-        remaining -= 8
-    if remaining:
-        writer.write_bits(reader.read_bits(remaining), remaining)
+    if n_bits == 0:
+        return
+    # Only the bytes overlapping the slice participate in the shift.
+    first_byte = start_bit >> 3
+    last_byte = (start_bit + n_bits + 7) >> 3
+    word = int.from_bytes(data[first_byte:last_byte], "big")
+    tail = (last_byte - first_byte) * 8 - (start_bit - first_byte * 8) - n_bits
+    writer.write_bits((word >> tail) & ((1 << n_bits) - 1), n_bits)

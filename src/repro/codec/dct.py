@@ -47,6 +47,21 @@ def _int_basis() -> np.ndarray:
     return scaled
 
 
+@lru_cache(maxsize=1)
+def _int_basis_float() -> np.ndarray:
+    scaled = _int_basis().astype(np.float64)
+    scaled.setflags(write=False)
+    return scaled
+
+
+#: Inputs below this magnitude keep every product and partial sum of the
+#: two transform stages under 2**53, so the float64 matmul path is exact
+#: (integers in, the same integers out) and BLAS replaces the much
+#: slower int64 einsum.  Quantizer output is clamped to 12 bits, so real
+#: streams are always far below the limit.
+_EXACT_FLOAT_LIMIT = 1 << 33
+
+
 def _as_batch(blocks: np.ndarray) -> np.ndarray:
     if blocks.ndim == 2:
         blocks = blocks[None]
@@ -79,6 +94,19 @@ def _rounded_shift(values: np.ndarray, bits: int) -> np.ndarray:
     )
 
 
+def _rounded_shift_exact_float(values: np.ndarray, bits: int) -> np.ndarray:
+    """:func:`_rounded_shift` on a float64 array of exact integers.
+
+    ``|values| + half`` must stay below 2**53 so every intermediate is
+    exactly representable; then abs, add, scaling by a power of two,
+    floor and sign transfer are all exact and the result equals the
+    integer shift bit for bit.
+    """
+    half = float(1 << (bits - 1))
+    scale = 2.0 ** -bits
+    return np.copysign(np.floor((np.abs(values) + half) * scale), values)
+
+
 def forward_dct_int(blocks: np.ndarray) -> np.ndarray:
     """Fixed-point forward DCT; integer in, integer out.
 
@@ -86,6 +114,14 @@ def forward_dct_int(blocks: np.ndarray) -> np.ndarray:
     multiplication stage, where ``Dq = round(D * 2^s)``.
     """
     blocks = _as_batch(blocks).astype(np.int64)
+    if blocks.size and int(np.abs(blocks).max()) < _EXACT_FLOAT_LIMIT:
+        basis = _int_basis_float()
+        stage1 = _rounded_shift_exact_float(
+            basis @ blocks.astype(np.float64), FIXED_POINT_BITS
+        )
+        return _rounded_shift_exact_float(
+            stage1 @ basis.T, FIXED_POINT_BITS
+        ).astype(np.int64)
     basis = _int_basis()
     stage1 = _rounded_shift(np.einsum("ij,njk->nik", basis, blocks), FIXED_POINT_BITS)
     stage2 = _rounded_shift(np.einsum("nik,lk->nil", stage1, basis), FIXED_POINT_BITS)
@@ -95,6 +131,14 @@ def forward_dct_int(blocks: np.ndarray) -> np.ndarray:
 def inverse_dct_int(coefficients: np.ndarray) -> np.ndarray:
     """Fixed-point inverse DCT; integer in, integer out."""
     coefficients = _as_batch(coefficients).astype(np.int64)
+    if coefficients.size and int(np.abs(coefficients).max()) < _EXACT_FLOAT_LIMIT:
+        basis = _int_basis_float()
+        stage1 = _rounded_shift_exact_float(
+            basis.T @ coefficients.astype(np.float64), FIXED_POINT_BITS
+        )
+        return _rounded_shift_exact_float(
+            stage1 @ basis, FIXED_POINT_BITS
+        ).astype(np.int64)
     basis = _int_basis()
     stage1 = _rounded_shift(
         np.einsum("ji,njk->nik", basis, coefficients), FIXED_POINT_BITS

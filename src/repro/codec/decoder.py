@@ -27,8 +27,7 @@ from repro.codec.bitstream import BitReader, BitstreamError
 from repro.codec.dct import inverse_dct
 from repro.codec.quant import dequantize
 from repro.codec.syntax import (
-    decode_macroblock,
-    decode_macroblock_skippable,
+    decode_macroblock_layer,
     read_fragment_header,
 )
 from repro.codec.types import CodecConfig, FrameType, MacroblockMode
@@ -136,9 +135,24 @@ class Decoder:
         frame_type = FrameType.P
         mv_divisor = 2 if config.half_pel else 1
 
+        # Pad the prediction references once per frame; every fragment
+        # predicts from the same planes.
+        pad = config.search_range + (2 if config.half_pel else 0)
+        padded_ref = (
+            np.pad(reference.astype(np.int64), pad, mode="edge")
+            if reference is not None
+            else None
+        )
+        padded_chroma = None
+        if config.chroma and reference_chroma is not None:
+            padded_chroma = tuple(
+                np.pad(plane.astype(np.int64), 8, mode="edge")
+                for plane in reference_chroma
+            )
+
         for payload in fragments:
             header, decoded = self._decode_fragment(
-                payload, reference, canvas, reference_chroma, chroma_canvases
+                payload, padded_ref, pad, canvas, padded_chroma, chroma_canvases
             )
             if header is None:
                 continue  # unreadable header: the whole fragment is lost
@@ -165,9 +179,10 @@ class Decoder:
     def _decode_fragment(
         self,
         payload: bytes,
-        reference: Optional[np.ndarray],
+        padded_ref: Optional[np.ndarray],
+        pad: int,
         canvas: np.ndarray,
-        reference_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        padded_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None,
         chroma_canvases: Optional[tuple[np.ndarray, np.ndarray]] = None,
     ):
         """Decode one fragment onto the canvases; salvage on corruption.
@@ -183,125 +198,168 @@ class Decoder:
         if header.first_mb + header.mb_count > config.mb_count:
             return None, []
 
-        pad = config.search_range + (2 if config.half_pel else 0)
-        if reference is not None:
-            padded_ref = np.pad(reference.astype(np.int64), pad, mode="edge")
-        else:
-            padded_ref = None
-        padded_chroma = None
-        if config.chroma and reference_chroma is not None:
-            padded_chroma = tuple(
-                np.pad(plane.astype(np.int64), 8, mode="edge")
-                for plane in reference_chroma
-            )
-
         blocks_per_mb = config.blocks_per_mb
-        decode_mb = (
-            decode_macroblock_skippable if config.allow_skip else decode_macroblock
+        # Phase 1 — batch VLD; a corrupt codeword (or a macroblock that
+        # cannot be predicted) truncates the salvaged prefix exactly
+        # where the sequential decoder did.
+        mv_limit = (
+            2 * config.search_range if config.half_pel else config.search_range
         )
+        allow_inter = padded_ref is not None and not (
+            config.chroma and padded_chroma is None
+        )
+        embs = decode_macroblock_layer(
+            reader,
+            header.frame_type,
+            header.mb_count,
+            blocks_per_mb,
+            allow_skip=config.allow_skip,
+            allow_inter=allow_inter,
+            mv_limit=mv_limit,
+        )
+        parsed = [
+            (header.first_mb + offset, emb) for offset, emb in enumerate(embs)
+        ]
+        self.counters.entropy_bits += reader.bits_consumed
+        if not parsed:
+            return header, []
+
+        # Phase 2 — batch dequantization and inverse transform across
+        # every salvaged macroblock, then per-macroblock prediction.
+        luma_mbs = self._reconstruct_luma_batch(parsed, header, padded_ref, pad)
+        chroma_mbs = (
+            self._reconstruct_chroma_batch(parsed, header, padded_chroma)
+            if config.chroma
+            else None
+        )
+
         decoded: list[tuple[int, MacroblockMode, tuple[int, int]]] = []
-        for offset in range(header.mb_count):
-            mb_index = header.first_mb + offset
-            try:
-                emb = decode_mb(reader, header.frame_type, blocks_per_mb)
-                pixels = self._reconstruct_macroblock(
-                    emb, header, mb_index, padded_ref, pad
-                )
-                if config.chroma:
-                    chroma_pixels = self._reconstruct_chroma(
-                        emb, header, mb_index, padded_chroma
-                    )
-            except BitstreamError:
-                break  # VLC desync: everything after this point is lost
+        for position, (mb_index, emb) in enumerate(parsed):
             row, col = divmod(mb_index, config.mb_cols)
-            canvas[row * 16 : (row + 1) * 16, col * 16 : (col + 1) * 16] = pixels
-            if config.chroma:
+            canvas[row * 16 : (row + 1) * 16, col * 16 : (col + 1) * 16] = (
+                luma_mbs[position]
+            )
+            if chroma_mbs is not None:
                 assert chroma_canvases is not None
-                for plane, block in zip(chroma_canvases, chroma_pixels):
+                for plane, block in zip(chroma_canvases, chroma_mbs[position]):
                     plane[row * 8 : (row + 1) * 8, col * 8 : (col + 1) * 8] = (
                         block
                     )
             decoded.append((mb_index, emb.mode, emb.mv))
-            self.counters.dequant_blocks += blocks_per_mb
-            self.counters.idct_blocks += blocks_per_mb
             self.counters.mode_decisions += 1
             if emb.mode is MacroblockMode.INTER:
                 self.counters.mc_blocks += 1
-        self.counters.entropy_bits += reader.bits_consumed
+        self.counters.dequant_blocks += blocks_per_mb * len(parsed)
+        self.counters.idct_blocks += blocks_per_mb * len(parsed)
         return header, decoded
 
-    def _reconstruct_chroma(
-        self,
-        emb,
-        header,
-        mb_index: int,
-        padded_chroma: Optional[tuple[np.ndarray, np.ndarray]],
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Dequantize/inverse-transform the macroblock's Cb and Cr blocks."""
-        config = self.config
-        intra = emb.mode is MacroblockMode.INTRA
-        coefficients = dequantize(emb.coefficients[4:6], header.qp, intra=intra)
-        blocks = inverse_dct(coefficients, config.use_fixed_point_dct)
-        if intra:
-            return tuple(
-                np.clip(block, 0, 255).astype(np.uint8) for block in blocks
-            )
-        if padded_chroma is None:
-            raise BitstreamError(
-                f"inter macroblock {mb_index} with no chroma reference"
-            )
-        if config.half_pel:
-            cdy = chroma_vector(int(np.fix(emb.mv[0] / 2.0)))
-            cdx = chroma_vector(int(np.fix(emb.mv[1] / 2.0)))
-        else:
-            cdy = chroma_vector(emb.mv[0])
-            cdx = chroma_vector(emb.mv[1])
-        row, col = divmod(mb_index, config.mb_cols)
-        y = row * 8 + 8 + cdy
-        x = col * 8 + 8 + cdx
-        out = []
-        for block, padded in zip(blocks, padded_chroma):
-            prediction = padded[y : y + 8, x : x + 8]
-            out.append(np.clip(block + prediction, 0, 255).astype(np.uint8))
-        return tuple(out)
+    def _dequantize_batch(
+        self, coefficients: np.ndarray, intra_flags: np.ndarray, qp: int
+    ) -> np.ndarray:
+        """Dequantize a ``(k, n, 8, 8)`` batch grouped by coding mode."""
+        n = coefficients.shape[1]
+        out = np.empty(coefficients.shape, dtype=np.int64)
+        for intra in (True, False):
+            mask = intra_flags if intra else ~intra_flags
+            if mask.any():
+                out[mask] = dequantize(
+                    coefficients[mask].reshape(-1, 8, 8), qp, intra=intra
+                ).reshape(-1, n, 8, 8)
+        return out
 
-    def _reconstruct_macroblock(
+    def _reconstruct_luma_batch(
         self,
-        emb,
+        parsed: list,
         header,
-        mb_index: int,
         padded_ref: Optional[np.ndarray],
         pad: int,
     ) -> np.ndarray:
-        """Dequantize, inverse-transform and motion-compensate one MB."""
+        """Dequantize/IDCT every salvaged macroblock at once, then predict."""
         config = self.config
-        intra = emb.mode is MacroblockMode.INTRA
-        coefficients = dequantize(emb.coefficients[:4], header.qp, intra=intra)
-        blocks = inverse_dct(coefficients, config.use_fixed_point_dct)
-        mb_pixels = blocks_to_macroblocks(blocks[None, ...])[0]
-
-        if intra:
-            return np.clip(mb_pixels, 0, 255).astype(np.uint8)
-
-        if padded_ref is None:
-            raise BitstreamError(
-                f"inter macroblock {mb_index} with no reference frame"
-            )
-        dy, dx = emb.mv
-        limit = (
-            2 * config.search_range if config.half_pel else config.search_range
+        coefficients = np.stack([emb.coefficients[:4] for _, emb in parsed])
+        intra_flags = np.array(
+            [emb.mode is MacroblockMode.INTRA for _, emb in parsed]
         )
-        if abs(dy) > limit or abs(dx) > limit:
-            raise BitstreamError(
-                f"motion vector ({dy}, {dx}) exceeds coded range {limit}"
-            )
-        row, col = divmod(mb_index, config.mb_cols)
+        dequantized = self._dequantize_batch(
+            coefficients, intra_flags, header.qp
+        )
+        blocks = inverse_dct(
+            dequantized.reshape(-1, 8, 8), config.use_fixed_point_dct
+        )
+        mb_pixels = blocks_to_macroblocks(blocks.reshape(len(parsed), 4, 8, 8))
+
+        out = np.empty((len(parsed), 16, 16), dtype=np.uint8)
+        if intra_flags.any():
+            out[intra_flags] = np.clip(mb_pixels[intra_flags], 0, 255)
+        inter_positions = np.flatnonzero(~intra_flags)
+        if inter_positions.size == 0:
+            return out
+        assert padded_ref is not None
         if config.half_pel:
-            prediction = fetch_block_half(
-                padded_ref, pad, row * 16, col * 16, (dy, dx)
-            )
+            for position in inter_positions:
+                mb_index, emb = parsed[position]
+                row, col = divmod(mb_index, config.mb_cols)
+                prediction = fetch_block_half(
+                    padded_ref, pad, row * 16, col * 16, emb.mv
+                )
+                out[position] = np.clip(
+                    mb_pixels[position] + prediction, 0, 255
+                )
         else:
-            y = row * 16 + pad + dy
-            x = col * 16 + pad + dx
-            prediction = padded_ref[y : y + 16, x : x + 16]
-        return np.clip(mb_pixels + prediction, 0, 255).astype(np.uint8)
+            # Full-pel prediction for every inter macroblock in one
+            # gather off the padded reference's 16x16 window view.
+            windows = np.lib.stride_tricks.sliding_window_view(
+                padded_ref, (16, 16)
+            )
+            ys = np.empty(inter_positions.size, dtype=np.int64)
+            xs = np.empty(inter_positions.size, dtype=np.int64)
+            for slot, position in enumerate(inter_positions):
+                mb_index, emb = parsed[position]
+                row, col = divmod(mb_index, config.mb_cols)
+                ys[slot] = row * 16 + pad + emb.mv[0]
+                xs[slot] = col * 16 + pad + emb.mv[1]
+            out[inter_positions] = np.clip(
+                mb_pixels[inter_positions] + windows[ys, xs], 0, 255
+            )
+        return out
+
+    def _reconstruct_chroma_batch(
+        self,
+        parsed: list,
+        header,
+        padded_chroma: Optional[tuple[np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Chroma twin of :meth:`_reconstruct_luma_batch` (Cb then Cr)."""
+        config = self.config
+        coefficients = np.stack([emb.coefficients[4:6] for _, emb in parsed])
+        intra_flags = np.array(
+            [emb.mode is MacroblockMode.INTRA for _, emb in parsed]
+        )
+        dequantized = self._dequantize_batch(
+            coefficients, intra_flags, header.qp
+        )
+        blocks = inverse_dct(
+            dequantized.reshape(-1, 8, 8), config.use_fixed_point_dct
+        ).reshape(len(parsed), 2, 8, 8)
+
+        out = np.empty((len(parsed), 2, 8, 8), dtype=np.uint8)
+        for position, (mb_index, emb) in enumerate(parsed):
+            if emb.mode is MacroblockMode.INTRA:
+                out[position] = np.clip(blocks[position], 0, 255)
+                continue
+            assert padded_chroma is not None
+            if config.half_pel:
+                cdy = chroma_vector(int(np.fix(emb.mv[0] / 2.0)))
+                cdx = chroma_vector(int(np.fix(emb.mv[1] / 2.0)))
+            else:
+                cdy = chroma_vector(emb.mv[0])
+                cdx = chroma_vector(emb.mv[1])
+            row, col = divmod(mb_index, config.mb_cols)
+            y = row * 8 + 8 + cdy
+            x = col * 8 + 8 + cdx
+            for component, padded in enumerate(padded_chroma):
+                prediction = padded[y : y + 8, x : x + 8]
+                out[position, component] = np.clip(
+                    blocks[position, component] + prediction, 0, 255
+                )
+        return out

@@ -47,7 +47,7 @@ from repro.codec.motion import (
     motion_compensate_chroma,
 )
 from repro.codec.quant import dequantize, quantize
-from repro.codec.syntax import encode_macroblock, encode_macroblock_skippable
+from repro.codec.syntax import encode_macroblock_layer
 from repro.codec.types import (
     CodecConfig,
     EncodedFrame,
@@ -174,15 +174,21 @@ class Encoder:
 
         decisions = tuple(
             MacroblockDecision(
-                mode=modes[r, c],
-                mv=(int(mvs[r, c, 0]), int(mvs[r, c, 1])),
-                sad_mv=int(sads[r, c]),
-                sad_self=int(sad_self_map[r, c]),
-                me_skipped=bool(me_skipped[r, c]),
-                forced_by=forced_by[r, c],
+                mode=mode,
+                mv=(mv[0], mv[1]),
+                sad_mv=sad_mv,
+                sad_self=sad_self,
+                me_skipped=skipped,
+                forced_by=forced,
             )
-            for r in range(mb_rows)
-            for c in range(mb_cols)
+            for mode, mv, sad_mv, sad_self, skipped, forced in zip(
+                modes.ravel().tolist(),
+                mvs.reshape(-1, 2).tolist(),
+                sads.ravel().tolist(),
+                sad_self_map.ravel().tolist(),
+                me_skipped.ravel().tolist(),
+                forced_by.ravel().tolist(),
+            )
         )
 
         bits = offsets[-1]
@@ -485,30 +491,23 @@ class Encoder:
             )
 
         with tracer.span("entropy_code") as entropy_span:
-            encode_mb = (
-                encode_macroblock_skippable
-                if config.allow_skip
-                else encode_macroblock
-            )
             writer = BitWriter()
-            offsets: list[int] = []
-            for r in range(mb_rows):
-                for c in range(mb_cols):
-                    offsets.append(writer.bit_length)
-                    mb_levels = levels[r, c]
-                    if chroma_levels is not None:
-                        mb_levels = np.concatenate(
-                            [mb_levels, chroma_levels[r, c]]
-                        )
-                    encode_mb(
-                        writer,
-                        frame_type,
-                        modes[r, c],
-                        (int(mvs[r, c, 0]), int(mvs[r, c, 1])),
-                        mb_levels,
-                    )
-            offsets.append(writer.bit_length)
+            all_levels = (
+                levels
+                if chroma_levels is None
+                else np.concatenate([levels, chroma_levels], axis=2)
+            )
+            offsets, n_codewords = encode_macroblock_layer(
+                writer,
+                frame_type,
+                intra_grid,
+                mvs,
+                all_levels,
+                allow_skip=config.allow_skip,
+            )
             self.counters.entropy_bits += writer.bit_length
-            entropy_span.add(entropy_bits=writer.bit_length)
+            entropy_span.add(
+                entropy_bits=writer.bit_length, vlc_codewords=n_codewords
+            )
 
         return writer.getvalue(), offsets, reconstruction, chroma_recon

@@ -360,12 +360,17 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         )
         origins_y = rows_idx * MB + srange
         origins_x = cols_idx * MB + srange
-        offsets = np.arange(MB)
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (MB, MB))
 
-        def gather(sel: np.ndarray, dy: np.ndarray, dx: np.ndarray) -> np.ndarray:
-            rows = (origins_y[sel] + dy)[:, None, None] + offsets[None, :, None]
-            cols = (origins_x[sel] + dx)[:, None, None] + offsets[None, None, :]
-            return np.abs(current_mbs[sel] - padded[rows, cols]).sum(axis=(1, 2))
+        def gather(
+            cur: np.ndarray,
+            oy: np.ndarray,
+            ox: np.ndarray,
+            dy: np.ndarray,
+            dx: np.ndarray,
+        ) -> np.ndarray:
+            candidates = windows[oy + dy, ox + dx]
+            return np.abs(cur - candidates).sum(axis=(1, 2))
 
         def score(
             sel: np.ndarray, sad: np.ndarray, dy: np.ndarray, dx: np.ndarray
@@ -377,7 +382,7 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         best_dy = np.zeros(n, dtype=np.int64)
         best_dx = np.zeros(n, dtype=np.int64)
         everyone = np.ones(n, dtype=bool)
-        best_sad = gather(everyone, best_dy, best_dx)
+        best_sad = gather(current_mbs, origins_y, origins_x, best_dy, best_dx)
         best_cost = score(everyone, best_sad, best_dy, best_dx)
         evaluated = n
         evals_per_mb = np.ones(n, dtype=np.int64)
@@ -390,14 +395,17 @@ class DiamondSearchMotionEstimator(MotionEstimator):
             if not searching.any():
                 break
             improved = np.zeros(n, dtype=bool)
+            sel = np.nonzero(searching)[0]
+            cur = current_mbs[sel]
+            oy_sel = origins_y[sel]
+            ox_sel = origins_x[sel]
             for oy, ox in self._LARGE_DIAMOND:
-                dy = np.clip(best_dy[searching] + oy, -srange, srange)
-                dx = np.clip(best_dx[searching] + ox, -srange, srange)
-                sad = gather(searching, dy, dx)
+                dy = np.clip(best_dy[sel] + oy, -srange, srange)
+                dx = np.clip(best_dx[sel] + ox, -srange, srange)
+                sad = gather(cur, oy_sel, ox_sel, dy, dx)
                 cost = score(searching, sad, dy, dx)
-                evaluated += int(searching.sum())
-                evals_per_mb[searching] += 1
-                sel = np.nonzero(searching)[0]
+                evaluated += sel.size
+                evals_per_mb[sel] += 1
                 better = cost < best_cost[sel]
                 idx = sel[better]
                 best_cost[idx] = cost[better]
@@ -410,14 +418,17 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         # Small-diamond refinement for everything that actually searched.
         refine = best_sad >= self.early_exit_sad
         if refine.any():
+            sel = np.nonzero(refine)[0]
+            cur = current_mbs[sel]
+            oy_sel = origins_y[sel]
+            ox_sel = origins_x[sel]
             for oy, ox in self._SMALL_DIAMOND:
-                dy = np.clip(best_dy[refine] + oy, -srange, srange)
-                dx = np.clip(best_dx[refine] + ox, -srange, srange)
-                sad = gather(refine, dy, dx)
+                dy = np.clip(best_dy[sel] + oy, -srange, srange)
+                dx = np.clip(best_dx[sel] + ox, -srange, srange)
+                sad = gather(cur, oy_sel, ox_sel, dy, dx)
                 cost = score(refine, sad, dy, dx)
-                evaluated += int(refine.sum())
-                evals_per_mb[refine] += 1
-                sel = np.nonzero(refine)[0]
+                evaluated += sel.size
+                evals_per_mb[sel] += 1
                 better = cost < best_cost[sel]
                 idx = sel[better]
                 best_cost[idx] = cost[better]

@@ -20,16 +20,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.codec.bitstream import BitReader, BitWriter, BitstreamError
+from repro.codec.bitstream import (
+    BitReader,
+    BitWriter,
+    BitstreamError,
+    build_word_index,
+)
 from repro.codec.entropy import (
+    block_codewords,
     decode_blocks,
     encode_blocks,
     read_se,
     read_ue,
+    se_codewords,
     write_se,
     write_ue,
 )
 from repro.codec.types import FrameType, MacroblockMode, EncodedMacroblock
+from repro.codec.zigzag import inverse_zigzag_order
 
 #: Sanity byte opening every fragment.
 FRAGMENT_MAGIC = 0xD5
@@ -134,6 +142,137 @@ def encode_macroblock_skippable(
     encode_macroblock(writer, frame_type, mode, mv, blocks)
 
 
+def encode_macroblock_layer(
+    writer: BitWriter,
+    frame_type: FrameType,
+    intra: np.ndarray,
+    mvs: np.ndarray,
+    levels: np.ndarray,
+    *,
+    allow_skip: bool = False,
+) -> tuple[list[int], int]:
+    """Write one frame's whole macroblock layer as a single codeword batch.
+
+    The per-macroblock syntax is identical to chaining
+    :func:`encode_macroblock` (or the skippable variant) over the grid
+    in raster order, but the entire frame — mode bits, motion vectors,
+    COD bits and all coefficient events — is assembled as ``(value,
+    width)`` arrays in numpy and packed by the writer in one operation.
+
+    Args:
+        intra: ``(mb_rows, mb_cols)`` bool grid of intra decisions.
+        mvs: ``(mb_rows, mb_cols, 2)`` motion vectors as coded.
+        levels: ``(mb_rows, mb_cols, n, 8, 8)`` quantized levels in
+            H.263 block order (``n`` is 4 luma-only, 6 with chroma).
+
+    Returns:
+        ``(offsets, n_codewords)`` where ``offsets`` has one bit offset
+        per macroblock plus a final entry for the total bit length
+        (absolute, i.e. including whatever the writer already held) —
+        the packetizer's split points — and ``n_codewords`` counts the
+        VLC codewords emitted (observability).
+    """
+    base = writer.bit_length
+    intra_flat = np.asarray(intra, dtype=bool).reshape(-1)
+    mb_count = intra_flat.size
+    mvs_flat = np.asarray(mvs, dtype=np.int64).reshape(mb_count, 2)
+    levels = np.asarray(levels)
+    blocks_per_mb = levels.shape[2]
+    blocks = levels.reshape(mb_count, blocks_per_mb, 8, 8)
+
+    if frame_type is FrameType.I and not intra_flat.all():
+        raise ValueError("I-frames may only contain intra macroblocks")
+
+    skipped = np.zeros(mb_count, dtype=bool)
+    if allow_skip and frame_type is FrameType.P:
+        residual_zero = ~blocks.reshape(mb_count, -1).any(axis=1)
+        skipped = (
+            ~intra_flat & (mvs_flat == 0).all(axis=1) & residual_zero
+        )
+
+    # Coefficient codewords for every non-skipped macroblock, in order.
+    active = ~skipped
+    block_values, block_widths, bits_per_block, cw_per_block = (
+        block_codewords(blocks[active].reshape(-1, 8, 8))
+    )
+    block_cw_per_mb = np.zeros(mb_count, dtype=np.int64)
+    block_cw_per_mb[active] = cw_per_block.reshape(-1, blocks_per_mb).sum(
+        axis=1
+    )
+    block_bits_per_mb = np.zeros(mb_count, dtype=np.int64)
+    block_bits_per_mb[active] = bits_per_block.reshape(
+        -1, blocks_per_mb
+    ).sum(axis=1)
+
+    # Per-macroblock header codewords (mode / COD bits, motion vectors)
+    # as an (mb_count, 4) matrix whose first ``header_count`` columns
+    # are real; the rest is masked off per macroblock.
+    header_values = np.zeros((mb_count, 4), dtype=np.int64)
+    header_widths = np.zeros((mb_count, 4), dtype=np.int64)
+    header_count = np.zeros(mb_count, dtype=np.int64)
+    if frame_type is FrameType.P:
+        inter_flat = ~intra_flat
+        mv_col = 0
+        if allow_skip:
+            header_values[:, 0] = skipped  # COD bit
+            header_widths[:, 0] = 1
+            header_values[:, 1] = intra_flat  # mode bit (coded MBs)
+            header_widths[:, 1] = 1
+            header_count = np.where(skipped, 1, np.where(inter_flat, 4, 2))
+            mv_col = 2
+        else:
+            header_values[:, 0] = intra_flat  # mode bit
+            header_widths[:, 0] = 1
+            header_count = np.where(inter_flat, 3, 1)
+            mv_col = 1
+        carries_mv = inter_flat & active
+        if carries_mv.any():
+            mv_values_0, mv_widths_0 = se_codewords(mvs_flat[:, 0])
+            mv_values_1, mv_widths_1 = se_codewords(mvs_flat[:, 1])
+            header_values[carries_mv, mv_col] = mv_values_0[carries_mv]
+            header_widths[carries_mv, mv_col] = mv_widths_0[carries_mv]
+            header_values[carries_mv, mv_col + 1] = mv_values_1[carries_mv]
+            header_widths[carries_mv, mv_col + 1] = mv_widths_1[carries_mv]
+    header_mask = np.arange(4)[None, :] < header_count[:, None]
+    header_bits_per_mb = np.where(header_mask, header_widths, 0).sum(axis=1)
+
+    # Interleave: each macroblock's header codewords, then its block
+    # codewords.  Both sub-streams are already in macroblock order, so
+    # scattering the headers into their slots leaves exactly the block
+    # positions for the coefficient stream.
+    cw_per_mb = header_count + block_cw_per_mb
+    n_codewords = int(cw_per_mb.sum())
+    values = np.empty(n_codewords, dtype=np.int64)
+    widths = np.empty(n_codewords, dtype=np.int64)
+    mb_starts = np.concatenate([[0], np.cumsum(cw_per_mb)[:-1]])
+    header_starts = np.concatenate([[0], np.cumsum(header_count)[:-1]])
+    n_header = int(header_count.sum())
+    if n_header:
+        header_positions = (
+            np.repeat(mb_starts, header_count)
+            + np.arange(n_header)
+            - np.repeat(header_starts, header_count)
+        )
+        is_header = np.zeros(n_codewords, dtype=bool)
+        is_header[header_positions] = True
+        values[header_positions] = header_values[header_mask]
+        widths[header_positions] = header_widths[header_mask]
+        values[~is_header] = block_values
+        widths[~is_header] = block_widths
+    else:
+        values[:] = block_values
+        widths[:] = block_widths
+
+    writer.write_codewords(values, widths)
+
+    bits_per_mb = header_bits_per_mb + block_bits_per_mb
+    offsets = np.empty(mb_count + 1, dtype=np.int64)
+    offsets[0] = base
+    np.cumsum(bits_per_mb, out=offsets[1:])
+    offsets[1:] += base
+    return [int(offset) for offset in offsets], n_codewords
+
+
 def decode_macroblock(
     reader: BitReader, frame_type: FrameType, blocks_per_mb: int = 4
 ) -> EncodedMacroblock:
@@ -156,6 +295,283 @@ def decode_macroblock(
             mv = (0, 0)
     coefficients = decode_blocks(reader, blocks_per_mb)
     return EncodedMacroblock(mode=mode, mv=mv, coefficients=coefficients)
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _parse_macroblock_fast(
+    words: list,
+    total: int,
+    p: int,
+    is_p: bool,
+    read_cod: bool,
+    blocks_per_mb: int,
+    block_base: int,
+    block_ids: list,
+    block_counts: list,
+    ev_positions: list,
+    ev_levels: list,
+) -> tuple[int, bool, int, int]:
+    """Parse one macroblock's syntax off a 64-bit word index.
+
+    Pure-integer transliteration of :func:`decode_macroblock` /
+    :func:`decode_macroblock_skippable`: raises :class:`BitstreamError`
+    at exactly the bit positions the sequential reader would, so the
+    decoder's salvage prefix is unchanged.  Coefficient events append
+    (zigzag position, level) to the shared accumulators; each coded
+    block contributes one ``(global block index, event count)`` pair so
+    the caller can scatter everything in one batch.
+
+    Returns ``(next_bit_position, intra, mv_y, mv_x)``.
+    """
+    if read_cod:
+        if p >= total:
+            raise BitstreamError("bitstream exhausted")
+        if (words[p >> 3] >> (63 - (p & 7))) & 1:
+            return p + 1, False, 0, 0  # COD: skipped macroblock
+        p += 1
+    if is_p:
+        if p >= total:
+            raise BitstreamError("bitstream exhausted")
+        intra = (words[p >> 3] >> (63 - (p & 7))) & 1 == 1
+        p += 1
+    else:
+        intra = True
+    mv_y = mv_x = 0
+    if is_p and not intra:
+        for which in (0, 1):
+            if p >= total:
+                raise BitstreamError("bitstream exhausted")
+            window = (words[p >> 3] << (p & 7)) & _MASK64
+            zeros = 64 - window.bit_length()
+            if zeros > 32:
+                raise BitstreamError(
+                    "Exp-Golomb prefix too long (corrupt stream)"
+                )
+            if p + 2 * zeros + 1 > total:
+                raise BitstreamError("bitstream exhausted")
+            if zeros <= 28:
+                # The whole codeword (zeros + 1 + zeros payload bits)
+                # fits in the window's >= 57 visible bits: its top
+                # 2*zeros+1 bits ARE (1 << zeros) | payload.
+                mapped = (window >> (63 - 2 * zeros)) - 1
+                p += 2 * zeros + 1
+            else:
+                q = p + zeros + 1
+                mapped = (
+                    (1 << zeros)
+                    | (
+                        (words[q >> 3] >> (64 - (q & 7) - zeros))
+                        & ((1 << zeros) - 1)
+                    )
+                ) - 1
+                p = q + zeros
+            magnitude = (mapped + 1) >> 1
+            value = magnitude if mapped & 1 else -magnitude
+            if which:
+                mv_x = value
+            else:
+                mv_y = value
+    append_position = ev_positions.append
+    append_level = ev_levels.append
+    for block in range(blocks_per_mb):
+        if p >= total:
+            raise BitstreamError("bitstream exhausted")
+        coded = (words[p >> 3] >> (63 - (p & 7))) & 1
+        p += 1
+        if not coded:
+            continue
+        n_events = 0
+        position = -1
+        while True:
+            # run: ue(v)
+            if p >= total:
+                raise BitstreamError("bitstream exhausted")
+            window = (words[p >> 3] << (p & 7)) & _MASK64
+            zeros = 64 - window.bit_length()
+            if zeros > 32:
+                raise BitstreamError(
+                    "Exp-Golomb prefix too long (corrupt stream)"
+                )
+            if p + 2 * zeros + 1 > total:
+                raise BitstreamError("bitstream exhausted")
+            if zeros <= 28:
+                run = (window >> (63 - 2 * zeros)) - 1
+                p += 2 * zeros + 1
+            else:
+                q = p + zeros + 1
+                run = (
+                    (1 << zeros)
+                    | (
+                        (words[q >> 3] >> (64 - (q & 7) - zeros))
+                        & ((1 << zeros) - 1)
+                    )
+                ) - 1
+                p = q + zeros
+            # level: se(v), with the trailing LAST bit folded into the
+            # same window fetch when both fit in its visible bits
+            if p >= total:
+                raise BitstreamError("bitstream exhausted")
+            window = (words[p >> 3] << (p & 7)) & _MASK64
+            zeros = 64 - window.bit_length()
+            if zeros > 32:
+                raise BitstreamError(
+                    "Exp-Golomb prefix too long (corrupt stream)"
+                )
+            if p + 2 * zeros + 1 > total:
+                raise BitstreamError("bitstream exhausted")
+            if zeros <= 27 and p + 2 * zeros + 2 <= total:
+                mapped = (window >> (63 - 2 * zeros)) - 1
+                last = (window >> (62 - 2 * zeros)) & 1
+                p += 2 * zeros + 2
+                if mapped == 0:
+                    raise BitstreamError("run-level event with zero level")
+            else:
+                q = p + zeros + 1
+                if zeros:
+                    mapped = (
+                        (1 << zeros)
+                        | (
+                            (words[q >> 3] >> (64 - (q & 7) - zeros))
+                            & ((1 << zeros) - 1)
+                        )
+                    ) - 1
+                    q += zeros
+                else:
+                    mapped = 0
+                p = q
+                if mapped == 0:
+                    raise BitstreamError("run-level event with zero level")
+                # LAST bit
+                if p >= total:
+                    raise BitstreamError("bitstream exhausted")
+                last = (words[p >> 3] >> (63 - (p & 7))) & 1
+                p += 1
+            magnitude = (mapped + 1) >> 1
+            level = magnitude if mapped & 1 else -magnitude
+            position += run + 1
+            if position >= 64:
+                raise BitstreamError(
+                    f"run-level overrun: position {position} >= 64"
+                )
+            append_position(position)
+            append_level(level)
+            n_events += 1
+            if last:
+                break
+        block_ids.append(block_base + block)
+        block_counts.append(n_events)
+    return p, intra, mv_y, mv_x
+
+
+def decode_macroblock_layer(
+    reader: BitReader,
+    frame_type: FrameType,
+    mb_count: int,
+    blocks_per_mb: int = 4,
+    *,
+    allow_skip: bool = False,
+    allow_inter: bool = True,
+    mv_limit: int | None = None,
+) -> list[EncodedMacroblock]:
+    """Batch VLD of up to ``mb_count`` macroblocks (the decoder fast path).
+
+    Bit-identical to looping :func:`decode_macroblock` (or the skippable
+    variant), but the grammar runs over a precomputed 64-bit word index
+    of the payload with plain integer arithmetic — no per-codeword
+    method dispatch — and all coefficient events scatter into the
+    output arrays in one batch per fragment.
+
+    Decoding stops at the first corrupt codeword, or — when the
+    validation arguments say so — at the first macroblock that cannot
+    be predicted (``allow_inter=False`` with an inter macroblock, or a
+    motion vector beyond ``mv_limit``).  Either way the decoded prefix
+    is returned and the reader is left positioned after the last
+    macroblock whose bits were consumed, matching the sequential
+    decoder's salvage semantics and bit accounting.
+    """
+    if blocks_per_mb not in (4, 6):
+        raise ValueError(f"blocks_per_mb must be 4 or 6, got {blocks_per_mb}")
+    data = reader.data
+    total = len(data) * 8
+    words = build_word_index(data)
+    p = reader.bits_consumed
+    is_p = frame_type is FrameType.P
+    read_cod = allow_skip and is_p
+    meta: list[tuple[bool, int, int]] = []
+    block_ids: list[int] = []
+    block_counts: list[int] = []
+    ev_positions: list[int] = []
+    ev_levels: list[int] = []
+    for _ in range(mb_count):
+        n_events = len(ev_levels)
+        n_blocks = len(block_ids)
+        try:
+            p_next, intra, mv_y, mv_x = _parse_macroblock_fast(
+                words,
+                total,
+                p,
+                is_p,
+                read_cod,
+                blocks_per_mb,
+                len(meta) * blocks_per_mb,
+                block_ids,
+                block_counts,
+                ev_positions,
+                ev_levels,
+            )
+        except BitstreamError:
+            # VLC desync: drop the partial macroblock, bits before it
+            # stay consumed.
+            del block_ids[n_blocks:]
+            del block_counts[n_blocks:]
+            del ev_positions[n_events:]
+            del ev_levels[n_events:]
+            break
+        p = p_next
+        if not intra and (
+            not allow_inter
+            or (
+                mv_limit is not None
+                and (
+                    mv_y > mv_limit
+                    or mv_y < -mv_limit
+                    or mv_x > mv_limit
+                    or mv_x < -mv_limit
+                )
+            )
+        ):
+            # Unpredictable macroblock: its bits were consumed (like the
+            # sequential decoder, which parses before validating) but it
+            # is not part of the salvaged prefix.
+            del block_ids[n_blocks:]
+            del block_counts[n_blocks:]
+            del ev_positions[n_events:]
+            del ev_levels[n_events:]
+            break
+        meta.append((intra, mv_y, mv_x))
+    reader.skip_bits(p - reader.bits_consumed)
+
+    count = len(meta)
+    coefficients = np.zeros((count * blocks_per_mb, 64), dtype=np.int32)
+    if ev_levels:
+        ev_blocks = np.repeat(
+            np.asarray(block_ids, dtype=np.int64),
+            np.asarray(block_counts, dtype=np.int64),
+        )
+        coefficients[ev_blocks, ev_positions] = ev_levels
+    coefficients = coefficients[:, inverse_zigzag_order()].reshape(
+        count, blocks_per_mb, 8, 8
+    )
+    return [
+        EncodedMacroblock(
+            mode=MacroblockMode.INTRA if intra else MacroblockMode.INTER,
+            mv=(mv_y, mv_x),
+            coefficients=coefficients[index],
+        )
+        for index, (intra, mv_y, mv_x) in enumerate(meta)
+    ]
 
 
 def decode_macroblock_skippable(

@@ -288,14 +288,15 @@ def simulate(
 
         run_span.add(frames=len(records))
         tracer.metrics.gauge("sim.frames", len(records))
-        return SimulationResult(
-            sequence_name=sequence.name,
-            strategy_name=strategy.name,
-            frames=tuple(records),
-            counters=encoder.counters,
-            energy=energy_model.breakdown(encoder.counters),
-            channel_log=channel.log,
-            size_stats=frame_size_stats([r.size_bytes for r in records]),
-            decoder_counters=decoder.counters,
-            decoder_energy=energy_model.breakdown(decoder.counters),
-        )
+        with tracer.span("report"):
+            return SimulationResult(
+                sequence_name=sequence.name,
+                strategy_name=strategy.name,
+                frames=tuple(records),
+                counters=encoder.counters,
+                energy=energy_model.breakdown(encoder.counters),
+                channel_log=channel.log,
+                size_stats=frame_size_stats([r.size_bytes for r in records]),
+                decoder_counters=decoder.counters,
+                decoder_energy=energy_model.breakdown(decoder.counters),
+            )

@@ -36,7 +36,15 @@ class TestFacadeSurface:
 
     @pytest.mark.parametrize(
         "name",
-        ["simulate", "run_experiment", "sweep", "replicate", "comparison_specs"],
+        [
+            "simulate",
+            "run_experiment",
+            "sweep",
+            "replicate",
+            "comparison_specs",
+            "encode_sequence",
+            "decode_stream",
+        ],
     )
     def test_harness_options_are_keyword_only(self, name):
         signature = inspect.signature(getattr(api, name))
@@ -102,6 +110,55 @@ class TestFacadeBehaviour:
         assert len(video) == 3
         with pytest.raises(ValueError):
             api.make_sequence("not-a-clip")
+
+    def test_encode_sequence_rejects_positional_strategy(self):
+        video = small_sequence(n_frames=2)
+        with pytest.raises(TypeError):
+            api.encode_sequence(video, "NO")  # strategy must be keyword-only
+
+    def test_codec_round_trip_through_facade(self):
+        import numpy as np
+
+        video = small_sequence(n_frames=3)
+        config = small_config()
+        encoded = api.encode_sequence(video, strategy="GOP-2", config=config)
+        assert len(encoded) == 3
+        assert all(isinstance(ef, api.EncodedFrame) for ef in encoded)
+
+        decoded = api.decode_stream(encoded, config=config)
+        assert len(decoded) == 3
+        assert all(isinstance(d, api.DecodeResult) for d in decoded)
+        # Lossless delivery: the decoder must land exactly on the
+        # encoder's reconstruction, frame for frame.
+        for ef, d in zip(encoded, decoded):
+            assert d.frame_index == ef.frame_index
+            assert np.array_equal(d.frame, ef.reconstruction)
+
+    def test_decode_stream_accepts_fragment_lists(self):
+        import numpy as np
+
+        video = small_sequence(n_frames=2)
+        config = small_config()
+        encoded = api.encode_sequence(video, strategy="NO", config=config)
+        packetizer = api.Packetizer(config)
+        fragments = [
+            [p.payload for p in packetizer.packetize(ef)] for ef in encoded
+        ]
+        via_fragments = api.decode_stream(fragments, config=config)
+        via_frames = api.decode_stream(encoded, config=config)
+        for a, b in zip(via_fragments, via_frames):
+            assert np.array_equal(a.frame, b.frame)
+
+    def test_encode_sequence_accepts_strategy_instance(self):
+        video = small_sequence(n_frames=2)
+        config = small_config()
+        by_spec = api.encode_sequence(video, strategy="NO", config=config)
+        by_instance = api.encode_sequence(
+            video, strategy=api.make_strategy("NO"), config=config
+        )
+        assert [ef.payload for ef in by_spec] == [
+            ef.payload for ef in by_instance
+        ]
 
     def test_experiment_helpers_round_trip(self):
         video = small_sequence(n_frames=3)

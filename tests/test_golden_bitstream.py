@@ -1,0 +1,109 @@
+"""Golden-bitstream regression tests: the coded output is frozen.
+
+The VLC substrate may be reimplemented for speed (and has been: the
+word-level kernels of ``repro.codec.bitstream``), but the bits on the
+wire are part of the reproduction's contract — the paper's resilience
+analysis depends on the exact (LAST, RUN, LEVEL) event structure, and
+any drift would silently change every loss experiment.  These hashes
+were computed with the original bit-serial reference implementation and
+must never change without a deliberate, documented syntax break.
+
+Each hash covers, for a fixed seed and sequence, every encoded frame's
+payload bytes, its macroblock bit offsets, and every packetized
+fragment payload — so the encoder, the offset bookkeeping, and the
+packetizer's bit-slicing are all locked at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.codec.encoder import Encoder
+from repro.codec.types import CodecConfig
+from repro.network.packet import Packetizer
+from repro.resilience.registry import build_strategy
+from repro.video.synthetic import SyntheticConfig, foreman_like, generate_sequence
+
+#: SHA-256 of the coded stream per scheme, foreman-like clip, 8 QCIF
+#: frames, seed 1, MTU 512 (computed with the pre-kernel-swap codec).
+GOLDEN_QCIF = {
+    "NO": "081d8108a20d1b6df23df0b3dffedd25bf1702f6c0e2ea10ce7e82690483e6b3",
+    "GOP-3": "fdaad3f77ec75841c799855c76b84b14abc112e7f26ecae9cdfc23e4aa3a0fb1",
+    "PGOP-3": "c53406ed5cf797d4dde84c30612c755ffe492cdfa5704e62e4893d60f7b881d9",
+    "AIR-24": "e181ffe6bcd17206178e99118583b0eb83d792368f510c41c0a4a89410423721",
+    "PBPAIR": "e284542b94f062cdcf5086343f83b4051bfd431b3e5c299e03344c4199d80d48",
+}
+
+#: The kitchen-sink configuration: 4:2:0 chroma, half-pel motion and
+#: skip mode all on, exercising the COD bit and chroma block paths.
+GOLDEN_FULL_FEATURES = (
+    "d0630ad8841d5825f6fdc66398c26019e3b30db919cafc4d5eacc7e774dd0c12"
+)
+
+SCHEME_KWARGS = {
+    "NO": {},
+    "GOP-3": {},
+    "PGOP-3": {},
+    "AIR-24": {},
+    "PBPAIR": dict(intra_th=0.92, plr=0.1),
+}
+
+
+def stream_digest(config: CodecConfig, strategy, sequence, mtu: int) -> str:
+    """Hash every payload, offset table and fragment the codec emits."""
+    encoder = Encoder(config, strategy)
+    packetizer = Packetizer(config, mtu=mtu)
+    digest = hashlib.sha256()
+    for encoded in encoder.encode_sequence(sequence):
+        digest.update(encoded.payload)
+        digest.update(
+            np.asarray(encoded.mb_bit_offsets, dtype=np.int64).tobytes()
+        )
+        for packet in packetizer.packetize(encoded):
+            digest.update(packet.payload)
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def qcif_clip():
+    return foreman_like(n_frames=8)
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN_QCIF))
+def test_golden_stream_per_scheme(qcif_clip, scheme):
+    digest = stream_digest(
+        CodecConfig(),
+        build_strategy(scheme, **SCHEME_KWARGS[scheme]),
+        qcif_clip,
+        mtu=512,
+    )
+    assert digest == GOLDEN_QCIF[scheme], (
+        f"{scheme}: encoded bitstream changed — the VLC layer is no "
+        "longer bit-identical to the reference implementation"
+    )
+
+
+def test_golden_stream_full_features():
+    sequence = generate_sequence(
+        SyntheticConfig(
+            width=64,
+            height=48,
+            n_frames=6,
+            texture_scale=30.0,
+            object_radius=10,
+            object_motion_amplitude=10.0,
+            object_motion_period=8,
+            sensor_noise=0.8,
+            chroma=True,
+            seed=13,
+        ),
+        name="colour",
+    )
+    config = CodecConfig(
+        width=64, height=48, chroma=True, half_pel=True, allow_skip=True
+    )
+    digest = stream_digest(config, build_strategy("GOP-3"), sequence, mtu=256)
+    assert digest == GOLDEN_FULL_FEATURES
