@@ -72,6 +72,16 @@ from repro.core.instrumentation import (
 )
 from repro.core.pbpair import PBPAIRConfig
 from repro.energy.model import EnergyModel, OperationCounters
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    inject_faults,
+    load_fault_plan,
+    parse_fault_plan,
+    write_fault_plan,
+)
 from repro.energy.profiles import DEVICE_PROFILES, IPAQ_H5555, ZAURUS_SL5600
 from repro.metrics.bitrate import frame_size_stats
 from repro.network.biterror import BitErrorChannel
@@ -118,7 +128,19 @@ from repro.sim.pipeline import (
 )
 from repro.sim.pipeline import simulate as _simulate
 from repro.sim.report import format_series, format_table
-from repro.sim.runner import JobSpec, ResultCache, build_grid, run_grid
+from repro.sim.runner import (
+    GridManifest,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    ManifestEntry,
+    ResultCache,
+    RetryPolicy,
+    build_grid,
+    grid_manifest,
+    load_manifest,
+    run_grid,
+)
 from repro.video.frame import Frame, VideoSequence
 from repro.video.io import write_ppm
 from repro.video.synthetic import (
@@ -142,6 +164,7 @@ def simulate(
     concealment: Optional[ConcealmentStrategy] = None,
     rate_controller: Optional[RateController] = None,
     bit_errors: Optional[BitErrorChannel] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Run one scheme over one sequence and a lossy channel.
 
@@ -151,7 +174,10 @@ def simulate(
     ``concealment`` overrides the decoder-side concealment strategy
     (copy concealment by default); ``rate_controller`` and
     ``bit_errors`` enable frame-level QP control and post-delivery bit
-    corruption, as in the internal pipeline.
+    corruption, as in the internal pipeline.  ``faults`` injects a
+    deterministic :class:`FaultPlan` (packet truncation, reordering,
+    fragment corruption, ...); every injection is recorded in the
+    result's ``fault_events``.
     """
     if loss_model is not None and plr is not None:
         raise ValueError("pass loss_model or plr, not both")
@@ -165,6 +191,7 @@ def simulate(
         concealment=concealment,
         rate_controller=rate_controller,
         bit_errors=bit_errors,
+        faults=faults,
     )
 
 
@@ -376,9 +403,25 @@ __all__ = [
     "ZAURUS_SL5600",
     # parallel experiment runner
     "JobSpec",
+    "JobResult",
+    "JobFailure",
     "ResultCache",
+    "RetryPolicy",
     "build_grid",
     "run_grid",
+    "GridManifest",
+    "ManifestEntry",
+    "grid_manifest",
+    "load_manifest",
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultInjector",
+    "inject_faults",
+    "parse_fault_plan",
+    "load_fault_plan",
+    "write_fault_plan",
     # video sources and IO
     "SyntheticConfig",
     "generate_sequence",

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.energy.profiles import DEVICE_PROFILES
+from repro.faults import parse_fault_plan
 from repro.network.loss import UniformLoss
 from repro.obs import (
     MERGED_TRACE_NAME,
@@ -44,8 +45,10 @@ from repro.sim.report import format_table
 from repro.sim.runner import (
     DEFAULT_CACHE_DIR,
     JobFailure,
+    JobResult,
     JobSpec,
     ResultCache,
+    RetryPolicy,
     run_grid,
 )
 from repro.video.synthetic import SEQUENCE_GENERATORS
@@ -97,7 +100,56 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed grid cell up to N extra times with "
+        "exponential backoff (default: 0, no retries)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock limit in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write a JSON manifest recording every job's outcome, and "
+        "degrade gracefully on failures instead of aborting",
+    )
+    _add_fault_options(parser)
     _add_trace_options(parser)
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject a deterministic fault plan: a compact "
+        "'kind[:prob],...' list (e.g. 'truncate:0.3,worker_crash'), an "
+        "inline JSON object, or a JSON file path",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan's RNG streams (default: 0)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace):
+    """The parsed --faults plan, or None when no faults are requested."""
+    if args.faults is None:
+        return None
+    try:
+        return parse_fault_plan(args.faults, seed=args.fault_seed)
+    except (ValueError, OSError) as error:
+        raise SystemExit(f"bad --faults value: {error}")
 
 
 def _add_trace_options(parser: argparse.ArgumentParser) -> None:
@@ -149,21 +201,47 @@ def _runner_setup(args: argparse.Namespace):
     return max_workers, cache, trace_dir
 
 
-def _grid_results(jobs, max_workers, cache, trace_dir=None):
-    """Run a grid and unwrap it, aborting loudly on any failed cell."""
+def _grid_results(args, jobs, max_workers, cache, trace_dir=None):
+    """Run a grid and unwrap it.
+
+    Without ``--manifest`` any failed cell aborts the command with exit
+    status 1 (after reporting every failure).  With ``--manifest`` the
+    run completes partially instead: every outcome lands in the
+    manifest file, failures are reported on stderr, and failed cells
+    come back as ``None`` so callers can render the surviving rows.
+    """
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+    )
     outcomes = run_grid(
-        jobs, max_workers=max_workers, cache=cache, trace_dir=trace_dir
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout=args.job_timeout,
+        trace_dir=trace_dir,
+        retry=retry,
+        faults=_fault_plan(args),
+        manifest_path=args.manifest,
     )
     failures = [o for o in outcomes if isinstance(o, JobFailure)]
     for failure in failures:
+        quarantined = " [quarantined]" if failure.quarantined else ""
         print(
             f"job {failure.spec.scheme} (PLR={failure.spec.plr}, "
-            f"seed={failure.spec.channel_seed}) failed: "
+            f"seed={failure.spec.channel_seed}) failed after "
+            f"{failure.attempts} attempt(s){quarantined}: "
             f"{failure.error_type}: {failure.message}",
             file=sys.stderr,
         )
-        if failure.traceback_text:
+        if failure.traceback_text and args.manifest is None:
             print(failure.traceback_text, file=sys.stderr)
+    if args.manifest is not None:
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+        return [
+            o.result if isinstance(o, JobResult) else None for o in outcomes
+        ]
     if failures:
         raise SystemExit(1)
     return [o.result for o in outcomes]
@@ -187,6 +265,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         strategy = build_strategy(args.scheme)
+    faults = _fault_plan(args)
     trace_dir = _trace_dir(args)
     trace_file: Optional[Path] = None
     if trace_dir is not None:
@@ -197,6 +276,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 strategy,
                 loss_model=UniformLoss(plr=args.plr, seed=args.seed),
                 config=_config(args),
+                faults=faults,
             )
         trace_file = write_trace(trace_dir / MERGED_TRACE_NAME, tracer)
     else:
@@ -205,6 +285,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             strategy,
             loss_model=UniformLoss(plr=args.plr, seed=args.seed),
             config=_config(args),
+            faults=faults,
         )
     print(f"sequence         : {video.name} ({result.n_frames} frames)")
     print(f"scheme           : {result.strategy_name}")
@@ -216,6 +297,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({result.energy.device})")
     print(f"packets lost     : {len(result.channel_log.lost_packets)}"
           f"/{result.channel_log.sent}")
+    if result.fault_events:
+        by_kind: dict[str, int] = {}
+        for event in result.fault_events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        rendered = " ".join(
+            f"{kind}={count}" for kind, count in sorted(by_kind.items())
+        )
+        print(f"injected faults  : {len(result.fault_events)} ({rendered})")
+        print(f"damaged fragments: {result.total_damaged_fragments}")
     if trace_file is not None:
         _print_trace_report(trace_file, args)
     return 0
@@ -247,8 +337,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     rows = []
     for spec, result in zip(
-        schemes, _grid_results(jobs, max_workers, cache, trace_dir)
+        schemes, _grid_results(args, jobs, max_workers, cache, trace_dir)
     ):
+        if result is None:
+            continue
         rows.append(
             [
                 spec,
@@ -293,8 +385,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     rows = []
     for th, result in zip(
-        thresholds, _grid_results(jobs, max_workers, cache, trace_dir)
+        thresholds, _grid_results(args, jobs, max_workers, cache, trace_dir)
     ):
+        if result is None:
+            continue
         rows.append(
             [
                 th,
@@ -394,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.92,
         help="PBPAIR's Intra_Th (default: 0.92)",
     )
+    _add_fault_options(sim)
     _add_trace_options(sim)
     sim.set_defaults(handler=_cmd_simulate)
 

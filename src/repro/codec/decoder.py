@@ -34,6 +34,7 @@ from repro.codec.types import CodecConfig, FrameType, MacroblockMode
 from repro.codec.blocks import blocks_to_macroblocks, chroma_vector
 from repro.codec.halfpel import fetch_block_half
 from repro.energy.counters import OperationCounters
+from repro.obs import get_tracer
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,10 @@ class DecodeResult:
             concealment.
         chroma: decoded ``(cb, cr)`` planes when the codec carries
             4:2:0 chroma; None for luma-only streams.
+        damaged_fragments: fragments whose damage the decoder concealed
+            instead of raising — unreadable headers, VLC desync that
+            truncated the salvaged prefix, or any unexpected decode
+            error contained at the fragment boundary.
     """
 
     frame_index: int
@@ -66,6 +71,7 @@ class DecodeResult:
     modes: np.ndarray
     mvs_pixels: Optional[np.ndarray] = None
     chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
+    damaged_fragments: int = 0
 
 
 class Decoder:
@@ -150,12 +156,35 @@ class Decoder:
                 for plane in reference_chroma
             )
 
-        for payload in fragments:
-            header, decoded = self._decode_fragment(
-                payload, padded_ref, pad, canvas, padded_chroma, chroma_canvases
-            )
+        damaged = 0
+        for fragment_position, payload in enumerate(fragments):
+            # Fragment-level resync: *nothing* a fragment contains may
+            # abort the frame.  Expected corruption (bad magic, VLC
+            # desync) is handled inside _decode_fragment; this guard
+            # additionally contains any unexpected decode error at the
+            # fragment boundary — the damaged region is concealed and
+            # the remaining fragments still decode.
+            try:
+                header, decoded = self._decode_fragment(
+                    payload, padded_ref, pad, canvas, padded_chroma,
+                    chroma_canvases,
+                )
+            except Exception as error:  # noqa: BLE001 - containment contract
+                damaged += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "decoder.fragment_error",
+                        fragment=fragment_position,
+                        error=type(error).__name__,
+                        expected_index=expected_index,
+                    )
+                continue
             if header is None:
-                continue  # unreadable header: the whole fragment is lost
+                damaged += 1  # unreadable header: the whole fragment is lost
+                continue
+            if len(decoded) < header.mb_count:
+                damaged += 1  # VLC desync truncated the salvaged prefix
             frame_index = header.frame_index
             frame_type = header.frame_type
             for mb_index, mode, mv in decoded:
@@ -174,6 +203,7 @@ class Decoder:
             modes=modes,
             mvs_pixels=mvs_pixels,
             chroma=chroma_canvases,
+            damaged_fragments=damaged,
         )
 
     def _decode_fragment(

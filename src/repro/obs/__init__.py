@@ -30,6 +30,7 @@ tracer and per-job trace file, merged by the parent with
 
 from repro.obs.export import (
     MERGED_TRACE_NAME,
+    SUPPORTED_TRACE_SCHEMAS,
     TRACE_SCHEMA_VERSION,
     TraceData,
     TraceFormatError,
@@ -53,6 +54,7 @@ from repro.obs.summary import (
 )
 from repro.obs.tracer import (
     NULL_TRACER,
+    EventRecord,
     NullTracer,
     Span,
     SpanRecord,
@@ -68,6 +70,7 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "SpanRecord",
+    "EventRecord",
     "get_tracer",
     "set_tracer",
     "use_tracer",
@@ -77,6 +80,7 @@ __all__ = [
     "TraceData",
     "TraceFormatError",
     "TRACE_SCHEMA_VERSION",
+    "SUPPORTED_TRACE_SCHEMAS",
     "MERGED_TRACE_NAME",
     "write_trace",
     "load_trace",

@@ -25,10 +25,15 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import SpanRecord, Tracer
+from repro.obs.tracer import EventRecord, SpanRecord, Tracer
 
-#: Bumped when the record layout changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+#: Bumped when the record layout changes incompatibly.  Version 2 added
+#: ``event`` records (structured fault/error events); version-1 files
+#: remain loadable.
+TRACE_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_trace` understands.
+SUPPORTED_TRACE_SCHEMAS = frozenset({1, TRACE_SCHEMA_VERSION})
 
 #: File name of the merged whole-run trace inside a trace directory.
 MERGED_TRACE_NAME = "trace.jsonl"
@@ -43,12 +48,17 @@ class TraceData:
     """Parsed content of a trace file."""
 
     spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     trace_ids: list[str] = field(default_factory=list)
 
     @property
     def n_spans(self) -> int:
         return len(self.spans)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
 
 
 def _span_to_json(span: SpanRecord) -> dict:
@@ -76,6 +86,23 @@ def _span_from_json(record: dict) -> SpanRecord:
     )
 
 
+def _event_to_json(event: EventRecord) -> dict:
+    return {
+        "type": "event",
+        "name": event.name,
+        "fields": dict(event.fields),
+        "trace_id": event.trace_id,
+    }
+
+
+def _event_from_json(record: dict) -> EventRecord:
+    return EventRecord(
+        name=record["name"],
+        fields=dict(record.get("fields", {})),
+        trace_id=record.get("trace_id", "run"),
+    )
+
+
 def _header_line() -> str:
     return json.dumps(
         {"type": "header", "schema": TRACE_SCHEMA_VERSION, "format": "repro-trace"}
@@ -92,6 +119,7 @@ def write_trace(path: Union[str, Path], tracer: Tracer) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     lines = [_header_line()]
     lines.extend(json.dumps(_span_to_json(span)) for span in tracer.records)
+    lines.extend(json.dumps(_event_to_json(event)) for event in tracer.events)
     snapshot = tracer.metrics.snapshot()
     if any(snapshot.values()):
         lines.append(
@@ -124,10 +152,11 @@ def load_trace(path: Union[str, Path]) -> TraceData:
             kind = record.get("type")
             if kind == "header":
                 schema = record.get("schema")
-                if schema != TRACE_SCHEMA_VERSION:
+                if schema not in SUPPORTED_TRACE_SCHEMAS:
+                    supported = sorted(SUPPORTED_TRACE_SCHEMAS)
                     raise TraceFormatError(
                         f"{path}: trace schema {schema!r} "
-                        f"(this reader understands {TRACE_SCHEMA_VERSION})"
+                        f"(this reader understands {supported})"
                     )
             elif kind == "span":
                 span = _span_from_json(record)
@@ -135,6 +164,8 @@ def load_trace(path: Union[str, Path]) -> TraceData:
                 if span.trace_id not in seen_ids:
                     seen_ids.add(span.trace_id)
                     data.trace_ids.append(span.trace_id)
+            elif kind == "event":
+                data.events.append(_event_from_json(record))
             elif kind == "metrics":
                 data.metrics.merge(record)
             else:
@@ -161,6 +192,7 @@ def merge_traces(
     for source in sources:
         data = load_trace(source)
         lines.extend(json.dumps(_span_to_json(span)) for span in data.spans)
+        lines.extend(json.dumps(_event_to_json(event)) for event in data.events)
         merged_metrics.merge(data.metrics.snapshot())
     snapshot = merged_metrics.snapshot()
     if any(snapshot.values()):

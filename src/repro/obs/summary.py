@@ -179,6 +179,17 @@ def trace_summary(
             f"stage coverage: {cov.stages_s:.3f}s of {cov.root_s:.3f}s "
             f"traced wall time ({100.0 * cov.ratio:.1f}%)"
         )
+    if trace.events:
+        by_name: dict[str, int] = {}
+        for event in trace.events:
+            label = event.name
+            if label == "fault":
+                label = f"fault:{event.fields.get('kind', '?')}"
+            by_name[label] = by_name.get(label, 0) + 1
+        rendered = "  ".join(
+            f"{name}={count}" for name, count in sorted(by_name.items())
+        )
+        lines.append(f"events: {len(trace.events)} ({rendered})")
     snapshot = trace.metrics.snapshot()
     counter_items = sorted(snapshot["counters"].items())
     if counter_items:

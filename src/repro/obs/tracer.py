@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional
 
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
 
@@ -60,6 +60,22 @@ class SpanRecord:
     depth: int
     parent: Optional[str]
     counters: Mapping[str, float] = field(default_factory=dict)
+    trace_id: str = "run"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One discrete, structured occurrence (as opposed to a timed span).
+
+    Spans measure *stages*; events record *things that happened* —
+    an injected fault, a concealed decoder error, a quarantined job.
+    Fields may hold strings as well as numbers (span counters cannot),
+    so structured records like :class:`repro.faults.FaultEvent` ride
+    the trace without flattening.
+    """
+
+    name: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
     trace_id: str = "run"
 
 
@@ -137,12 +153,19 @@ class Tracer:
     def __init__(self, trace_id: str = "run") -> None:
         self.trace_id = trace_id
         self.records: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
         self.metrics: MetricsRegistry = MetricsRegistry()
         self._stack: list[Span] = []
 
     def span(self, name: str, **counters: float):
         """Open a named span; use as a context manager."""
         return Span(self, name, dict(counters))
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a discrete structured event (fault, error, decision)."""
+        self.events.append(
+            EventRecord(name=name, fields=fields, trace_id=self.trace_id)
+        )
 
     def count(self, **counters: float) -> None:
         """Attach counters to the innermost open span (if any).
@@ -166,6 +189,9 @@ class NullTracer(Tracer):
 
     def span(self, name: str, **counters: float):
         return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        return None
 
     def count(self, **counters: float) -> None:
         return None

@@ -10,7 +10,7 @@ paper's evaluation section plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.concealment.copy import CopyConcealment
 from repro.energy.counters import OperationCounters
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.energy.profiles import DeviceProfile, IPAQ_H5555
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.metrics.bad_pixels import (
     DEFAULT_BAD_PIXEL_THRESHOLD,
     bad_pixel_count,
@@ -70,6 +71,7 @@ class FrameRecord:
     psnr_encoder: float  # loss-free, encoder-side reconstruction
     psnr_decoder: float  # after the lossy channel and concealment
     bad_pixels: int
+    damaged_fragments: int = 0  # fragments the decoder concealed
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,7 @@ class SimulationResult:
     size_stats: FrameSizeStats
     decoder_counters: Optional[OperationCounters] = None
     decoder_energy: Optional[EnergyBreakdown] = None
+    fault_events: tuple[FaultEvent, ...] = ()
 
     @property
     def n_frames(self) -> int:
@@ -114,6 +117,11 @@ class SimulationResult:
     @property
     def total_bad_pixels(self) -> int:
         return sum(f.bad_pixels for f in self.frames)
+
+    @property
+    def total_damaged_fragments(self) -> int:
+        """Fragments whose damage the decoder concealed across the run."""
+        return sum(f.damaged_fragments for f in self.frames)
 
     @property
     def intra_mb_total(self) -> int:
@@ -186,6 +194,7 @@ def simulate(
     concealment: Optional[ConcealmentStrategy] = None,
     rate_controller: Optional[RateController] = None,
     bit_errors: Optional[BitErrorChannel] = None,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
 ) -> SimulationResult:
     """Run the full Figure-1 pipeline and collect every metric.
 
@@ -201,10 +210,21 @@ def simulate(
             size fed back (the paper's "independent control mechanism").
         bit_errors: optional bit-flipping corruption applied to
             delivered packets (VLC desynchronization stress).
+        faults: optional deterministic fault plan (or a prepared
+            :class:`~repro.faults.FaultInjector`): channel-stage faults
+            hit the delivered packet stream after ``bit_errors``,
+            decoder-input faults hit the depacketized fragments.  Every
+            injection lands in ``result.fault_events`` and, when
+            tracing, in the obs trace.
     """
     config = config or SimulationConfig()
     loss_model = loss_model if loss_model is not None else NoLoss()
     concealment = concealment if concealment is not None else CopyConcealment()
+    injector: Optional[FaultInjector] = None
+    if isinstance(faults, FaultInjector):
+        injector = faults
+    elif faults is not None and faults:
+        injector = FaultInjector(faults)
 
     codec = config.codec
     if sequence.width != codec.width or sequence.height != codec.height:
@@ -245,10 +265,18 @@ def simulate(
                 delivered = channel.transmit(packets)
                 if bit_errors is not None:
                     delivered = bit_errors.corrupt(delivered)
+                if injector is not None:
+                    delivered = injector.apply_to_packets(
+                        delivered, frame.index
+                    )
             with tracer.span("decode_frame"):
                 fragments = depacketizer.group_by_frame(
                     delivered, frame.index + 1
                 )[frame.index]
+                if injector is not None:
+                    fragments = injector.apply_to_fragments(
+                        fragments, frame.index
+                    )
                 result = decoder.decode_frame(
                     fragments,
                     decoder_reference,
@@ -277,12 +305,16 @@ def simulate(
                         intra_mbs=encoded.stats.intra_mbs,
                         me_skipped_mbs=encoded.stats.me_skipped_mbs,
                         packets_sent=len(packets),
-                        packets_lost=len(packets) - len(delivered),
+                        # Duplicate-packet faults can deliver more
+                        # packets than were sent; loss never goes
+                        # negative.
+                        packets_lost=max(len(packets) - len(delivered), 0),
                         psnr_encoder=encoded.stats.psnr_reconstructed,
                         psnr_decoder=psnr(frame.pixels, repaired),
                         bad_pixels=bad_pixel_count(
                             frame.pixels, repaired, config.bad_pixel_threshold
                         ),
+                        damaged_fragments=result.damaged_fragments,
                     )
                 )
 
@@ -299,4 +331,7 @@ def simulate(
                 size_stats=frame_size_stats([r.size_bytes for r in records]),
                 decoder_counters=decoder.counters,
                 decoder_energy=energy_model.breakdown(decoder.counters),
+                fault_events=(
+                    tuple(injector.events) if injector is not None else ()
+                ),
             )

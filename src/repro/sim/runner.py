@@ -54,6 +54,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.inject import InjectedWorkerCrash
 from repro.network.loss import UniformLoss
 from repro.obs import Tracer, merge_job_traces, use_tracer, write_trace
 from repro.resilience.registry import build_strategy
@@ -67,7 +69,12 @@ from repro.video.synthetic import (
 
 #: Bumped whenever the simulation pipeline changes in a way that makes
 #: previously cached results stale (new metrics, changed semantics).
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: FrameRecord.damaged_fragments + SimulationResult.fault_events.
+CACHE_SCHEMA_VERSION = 2
+
+#: Schema version of the JSON failure manifest written by
+#: :meth:`GridManifest.write`.
+MANIFEST_SCHEMA_VERSION = 1
 
 #: Default on-disk cache location (overridable per call and via the CLI).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
@@ -169,6 +176,11 @@ class JobSpec:
         config: pipeline configuration (codec, MTU, device profile).
         pbpair_kwargs: extra :class:`repro.core.pbpair.PBPAIRConfig`
             knobs for PBPAIR schemes (``intra_th``, ...).
+        faults: optional deterministic :class:`repro.faults.FaultPlan`.
+            Pipeline-stage faults are injected inside the simulation
+            (and change the result, so the plan is part of the cache
+            key); runner-stage faults afflict the worker executing the
+            job.
     """
 
     scheme: str
@@ -180,6 +192,7 @@ class JobSpec:
     granularity: str = "frame"
     config: SimulationConfig = field(default_factory=SimulationConfig)
     pbpair_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.plr <= 1.0:
@@ -215,18 +228,28 @@ class JobSpec:
                 "granularity": self.granularity,
                 "config": self.config,
                 "pbpair_kwargs": self.pbpair_kwargs,
+                "faults": self.faults,
             }
         )
 
 
 @dataclass(frozen=True)
 class JobResult:
-    """A completed grid cell."""
+    """A completed grid cell.
+
+    ``attempts`` counts executions including retries (1 = first try
+    succeeded); ``injected_faults`` labels the runner-stage faults a
+    :class:`~repro.faults.FaultPlan` fired against this job
+    (``"worker_crash@1"`` = crashed on attempt 1), so a degraded-but-
+    recovered cell is distinguishable from a clean one.
+    """
 
     spec: JobSpec
     result: SimulationResult
     wall_time_s: float
     from_cache: bool = False
+    attempts: int = 1
+    injected_faults: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -240,6 +263,10 @@ class JobFailure:
     Captured per cell so one bad parameter combination does not kill an
     hours-long sweep; the traceback text travels back from the worker
     as a string because live traceback objects do not pickle.
+
+    ``attempts`` counts executions including retries; ``quarantined``
+    marks a job that kept failing until its retry budget ran out (a
+    *poison job* — the runner stopped feeding it to workers).
     """
 
     spec: JobSpec
@@ -247,10 +274,49 @@ class JobFailure:
     message: str
     traceback_text: str = ""
     wall_time_s: float = 0.0
+    attempts: int = 1
+    quarantined: bool = False
+    injected_faults: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
         return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` bounds total executions of one job (1 = no
+    retries, the default — existing callers keep their semantics).
+    The delay before attempt ``n+1`` is::
+
+        backoff_s * backoff_factor**(n-1) * (1 + jitter * u)
+
+    where ``u`` in [0, 1) is derived from a stable hash of the job key
+    and the attempt number — jittered like production retry loops (so
+    simultaneous retries do not stampede), yet exactly reproducible.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.backoff_factor < 1 or self.jitter < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.jitter * u)
 
 
 def build_grid(
@@ -285,6 +351,180 @@ def build_grid(
                         )
                     )
     return jobs
+
+
+# ---------------------------------------------------------------------------
+# Failure manifest: machine-readable partial-grid completion record
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One grid cell's outcome, flattened for the JSON manifest."""
+
+    index: int
+    scheme: str
+    plr: float
+    channel_seed: int
+    sequence: str
+    content_hash: str
+    status: str  # "ok" | "cached" | "failed"
+    attempts: int
+    wall_time_s: float
+    error_type: Optional[str] = None
+    message: Optional[str] = None
+    quarantined: bool = False
+    injected_faults: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    def to_json(self) -> dict:
+        record: dict[str, Any] = {
+            "index": self.index,
+            "scheme": self.scheme,
+            "plr": self.plr,
+            "channel_seed": self.channel_seed,
+            "sequence": self.sequence,
+            "content_hash": self.content_hash,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_time_s": self.wall_time_s,
+        }
+        if self.error_type is not None:
+            record["error_type"] = self.error_type
+            record["message"] = self.message
+        if self.quarantined:
+            record["quarantined"] = True
+        if self.injected_faults:
+            record["injected_faults"] = list(self.injected_faults)
+        return record
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "ManifestEntry":
+        return cls(
+            index=int(record["index"]),
+            scheme=record["scheme"],
+            plr=float(record["plr"]),
+            channel_seed=int(record["channel_seed"]),
+            sequence=record["sequence"],
+            content_hash=record["content_hash"],
+            status=record["status"],
+            attempts=int(record["attempts"]),
+            wall_time_s=float(record["wall_time_s"]),
+            error_type=record.get("error_type"),
+            message=record.get("message"),
+            quarantined=bool(record.get("quarantined", False)),
+            injected_faults=tuple(record.get("injected_faults", ())),
+        )
+
+
+@dataclass(frozen=True)
+class GridManifest:
+    """Machine-readable record of a (possibly partial) grid run.
+
+    The contract for graceful degradation: *every* submitted job
+    appears exactly once — succeeded, served from cache, or failed
+    (with error type, attempt count and quarantine flag) — so an
+    orchestrator can tell a complete sweep from a degraded one and
+    resubmit exactly the cells that died.
+    """
+
+    entries: tuple[ManifestEntry, ...] = ()
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.entries)
+
+    @property
+    def degraded(self) -> tuple[ManifestEntry, ...]:
+        """Entries that ultimately failed (the resubmission work list)."""
+        return tuple(e for e in self.entries if not e.ok)
+
+    @property
+    def complete(self) -> bool:
+        return not self.degraded
+
+    def to_json(self) -> dict:
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "n_jobs": self.n_jobs,
+            "complete": self.complete,
+            "counts": counts,
+            "jobs": [entry.to_json() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "GridManifest":
+        schema = record.get("schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema {schema!r} "
+                f"(this reader understands {MANIFEST_SCHEMA_VERSION})"
+            )
+        return cls(
+            entries=tuple(
+                ManifestEntry.from_json(job) for job in record.get("jobs", ())
+            )
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as JSON (atomically: tempfile + rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        tmp.replace(path)
+        return path
+
+
+def grid_manifest(
+    outcomes: Sequence[Union[JobResult, JobFailure]],
+) -> GridManifest:
+    """Build the failure manifest from :func:`run_grid` outcomes."""
+    entries = []
+    for index, outcome in enumerate(outcomes):
+        spec = outcome.spec
+        if isinstance(outcome, JobResult):
+            status = "cached" if outcome.from_cache else "ok"
+            error_type = message = None
+            quarantined = False
+        else:
+            status = "failed"
+            error_type = outcome.error_type
+            message = outcome.message
+            quarantined = outcome.quarantined
+        entries.append(
+            ManifestEntry(
+                index=index,
+                scheme=spec.scheme,
+                plr=spec.plr,
+                channel_seed=spec.channel_seed,
+                sequence=spec.sequence,
+                content_hash=spec.content_hash(),
+                status=status,
+                attempts=outcome.attempts,
+                wall_time_s=outcome.wall_time_s,
+                error_type=error_type,
+                message=message,
+                quarantined=quarantined,
+                injected_faults=outcome.injected_faults,
+            )
+        )
+    return GridManifest(entries=tuple(entries))
+
+
+def load_manifest(path: Union[str, Path]) -> GridManifest:
+    """Read a manifest previously written by :meth:`GridManifest.write`."""
+    return GridManifest.from_json(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -385,7 +625,13 @@ def run_job(spec: JobSpec) -> SimulationResult:
     loss_model = UniformLoss(
         plr=spec.plr, seed=spec.channel_seed, granularity=spec.granularity
     )
-    return simulate(sequence, strategy, loss_model=loss_model, config=spec.config)
+    return simulate(
+        sequence,
+        strategy,
+        loss_model=loss_model,
+        config=spec.config,
+        faults=spec.faults,
+    )
 
 
 def _job_trace_id(spec: JobSpec) -> str:
@@ -396,10 +642,43 @@ def _job_trace_id(spec: JobSpec) -> str:
     )
 
 
+def _raise_worker_faults(
+    spec: JobSpec, attempt: int, allow_process_exit: bool
+) -> None:
+    """Fire the runner-stage faults a plan aims at this worker attempt.
+
+    ``worker_hang`` sleeps (the job then proceeds — a slow worker, not
+    a dead one); ``worker_crash`` raises :class:`InjectedWorkerCrash`;
+    ``worker_exit`` kills the whole process with :func:`os._exit` when
+    ``allow_process_exit`` says a pool can absorb it (pooled workers),
+    and degrades to the soft crash serially — the parent process must
+    survive its own fault plan.
+    """
+    if spec.faults is None or not spec.faults:
+        return
+    injector = FaultInjector(spec.faults)
+    for fault in injector.worker_faults(spec.content_hash(), attempt):
+        if fault.kind == "worker_hang":
+            time.sleep(fault.hang_seconds)
+        elif fault.kind == "worker_exit" and allow_process_exit:
+            os._exit(86)
+        else:  # worker_crash, or worker_exit downgraded for serial mode
+            raise InjectedWorkerCrash(
+                f"injected {fault.kind} on attempt {attempt}"
+            )
+
+
 def _execute_job(
-    spec: JobSpec, trace_dir: Optional[str] = None
+    spec: JobSpec,
+    trace_dir: Optional[str] = None,
+    attempt: int = 1,
+    allow_process_exit: bool = False,
 ) -> tuple[bool, object, float]:
-    """Worker entry point: never raises, returns a picklable outcome.
+    """Worker entry point: never raises*, returns a picklable outcome.
+
+    (*except an injected ``worker_exit``, which by design takes the
+    whole process down so the parent's broken-pool recovery path gets
+    exercised.)
 
     With ``trace_dir``, the job runs under a fresh :class:`Tracer` and
     leaves its spans in ``trace_dir/job-<hash>.jsonl`` — a per-process
@@ -411,6 +690,7 @@ def _execute_job(
     """
     start = time.perf_counter()
     try:
+        _raise_worker_faults(spec, attempt, allow_process_exit)
         if trace_dir is not None:
             tracer = Tracer(trace_id=_job_trace_id(spec))
             with use_tracer(tracer):
@@ -432,10 +712,22 @@ def _execute_job(
 
 
 def _outcome(
-    spec: JobSpec, ok: bool, payload: object, elapsed: float
+    spec: JobSpec,
+    ok: bool,
+    payload: object,
+    elapsed: float,
+    attempts: int = 1,
+    injected: Sequence[str] = (),
+    quarantined: bool = False,
 ) -> Union[JobResult, JobFailure]:
     if ok:
-        return JobResult(spec=spec, result=payload, wall_time_s=elapsed)
+        return JobResult(
+            spec=spec,
+            result=payload,
+            wall_time_s=elapsed,
+            attempts=attempts,
+            injected_faults=tuple(injected),
+        )
     error_type, message, tb_text = payload
     return JobFailure(
         spec=spec,
@@ -443,6 +735,9 @@ def _outcome(
         message=message,
         traceback_text=tb_text,
         wall_time_s=elapsed,
+        attempts=attempts,
+        quarantined=quarantined,
+        injected_faults=tuple(injected),
     )
 
 
@@ -455,12 +750,59 @@ def resolve_workers(max_workers: Optional[int]) -> int:
     return max_workers
 
 
+def _poison_cache_entries(
+    spec: JobSpec, cache: Optional[ResultCache]
+) -> list[str]:
+    """Fire a plan's poison-cache faults against one job's cache entry.
+
+    Corrupts the entry file in place (the cache treats unreadable
+    entries as misses and deletes them, so the job recomputes — this
+    fault *proves* that recovery path).  Returns injection labels for
+    the job's outcome; nothing fires when there is no entry to rot.
+    """
+    if cache is None or spec.faults is None or not spec.faults:
+        return []
+    key = spec.content_hash()
+    injector = FaultInjector(spec.faults)
+    labels = []
+    for fault in injector.poison_cache_faults(key):
+        path = cache.path_for(key)
+        if not path.exists():
+            continue
+        with path.open("r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\x00rotten\x00")
+            handle.truncate(8)
+        injector.record_runner_fault(fault, target=f"cache:{key[:12]}")
+        labels.append("poison_cache")
+    return labels
+
+
+def _attempt_labels(spec: JobSpec, attempt: int) -> list[str]:
+    """Parent-side labels for worker faults firing in one attempt.
+
+    A crashed worker cannot send its own fault events back, so the
+    parent re-evaluates the (deterministic) plan to know what it did
+    to the job — same draw, same verdict, any process.
+    """
+    if spec.faults is None or not spec.faults:
+        return []
+    injector = FaultInjector(spec.faults)
+    return [
+        f"{fault.kind}@{attempt}"
+        for fault in injector.worker_faults(spec.content_hash(), attempt)
+    ]
+
+
 def run_grid(
     jobs: Iterable[JobSpec],
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
 
@@ -471,12 +813,14 @@ def run_grid(
             process pool) runs serially in this process.
         cache: optional on-disk result cache.  Cached cells are
             returned immediately (``from_cache=True``) without touching
-            the pool; fresh successes are written back.
+            the pool; fresh successes are written back.  Failures are
+            never cached.
         timeout: per-job wall-clock limit in seconds, enforced while
             collecting pool results — a cell that exceeds it becomes a
-            :class:`JobFailure` with ``error_type="TimeoutError"``.
-            Best-effort: an already-running worker process is not
-            killed, and the serial path cannot preempt a job at all.
+            :class:`JobFailure` with ``error_type="TimeoutError"`` (or
+            is retried, under a ``retry`` policy).  Best-effort: an
+            already-running worker process is not killed, and the
+            serial path cannot preempt a job at all.
         trace_dir: when given, every *executed* cell runs under a
             :class:`repro.obs.Tracer` and writes a per-job
             ``job-*.jsonl`` trace into this directory (workers cannot
@@ -484,6 +828,19 @@ def run_grid(
             into ``trace_dir/trace.jsonl``.  Cache hits execute
             nothing, so they contribute no spans.  Tracing never
             changes results.
+        retry: bounded-retry policy for failed cells.  A cell that
+            fails (raises, times out, or takes its pool down) is re-run
+            up to ``retry.max_attempts`` total times with the policy's
+            jittered exponential backoff between attempts; a cell still
+            failing with the budget spent comes back as a *quarantined*
+            :class:`JobFailure`.  Default: one attempt, no retries.
+        faults: run-level :class:`~repro.faults.FaultPlan` applied to
+            every spec that does not already carry its own plan (a
+            spec-level plan wins — it is part of the cache key).
+        manifest_path: when given, a :class:`GridManifest` JSON file is
+            written here after the grid completes — every submitted
+            job, succeeded or failed, for machine consumption.  Written
+            even when everything succeeded (``complete: true``).
 
     Returns:
         One :class:`JobResult` or :class:`JobFailure` per input spec,
@@ -491,6 +848,13 @@ def run_grid(
         worker count changes wall time, never values.
     """
     specs = list(jobs)
+    if faults is not None and faults:
+        specs = [
+            spec if spec.faults is not None
+            else dataclasses.replace(spec, faults=faults)
+            for spec in specs
+        ]
+    retry = retry or RetryPolicy()
     outcomes: dict[int, Union[JobResult, JobFailure]] = {}
 
     trace_dir_arg: Optional[str] = None
@@ -500,67 +864,159 @@ def run_grid(
         trace_dir_arg = str(trace_path)
 
     pending: list[int] = []
+    labels: dict[int, list[str]] = {}
     for index, spec in enumerate(specs):
+        labels[index] = _poison_cache_entries(spec, cache)
         if cache is not None:
             hit = cache.get(spec.content_hash())
             if hit is not None:
                 outcomes[index] = JobResult(
-                    spec=spec, result=hit, wall_time_s=0.0, from_cache=True
+                    spec=spec,
+                    result=hit,
+                    wall_time_s=0.0,
+                    from_cache=True,
+                    injected_faults=tuple(labels[index]),
                 )
                 continue
         pending.append(index)
 
     workers = min(resolve_workers(max_workers), max(len(pending), 1))
+    attempts: dict[int, int] = {index: 1 for index in pending}
+
+    def note_attempt(index: int) -> None:
+        labels[index].extend(
+            _attempt_labels(specs[index], attempts[index])
+        )
 
     def finish(index: int, ok: bool, payload: object, elapsed: float) -> None:
-        outcome = _outcome(specs[index], ok, payload, elapsed)
+        quarantined = (
+            not ok
+            and retry.max_attempts > 1
+            and attempts[index] >= retry.max_attempts
+        )
+        outcome = _outcome(
+            specs[index],
+            ok,
+            payload,
+            elapsed,
+            attempts=attempts[index],
+            injected=labels[index],
+            quarantined=quarantined,
+        )
         if cache is not None and isinstance(outcome, JobResult):
             cache.put(specs[index].content_hash(), outcome.result)
         outcomes[index] = outcome
 
+    def should_retry(index: int, ok: bool) -> bool:
+        if ok or attempts[index] >= retry.max_attempts:
+            return False
+        time.sleep(
+            retry.delay_for(attempts[index], specs[index].content_hash())
+        )
+        attempts[index] += 1
+        note_attempt(index)
+        return True
+
     def collect() -> list[Union[JobResult, JobFailure]]:
         if trace_dir_arg is not None:
             merge_job_traces(trace_dir_arg)
-        return [outcomes[i] for i in range(len(specs))]
+        results = [outcomes[i] for i in range(len(specs))]
+        if manifest_path is not None:
+            grid_manifest(results).write(manifest_path)
+        return results
+
+    def run_serial() -> list[Union[JobResult, JobFailure]]:
+        for index in pending:
+            note_attempt(index)
+            while True:
+                ok, payload, elapsed = _execute_job(
+                    specs[index], trace_dir_arg, attempts[index]
+                )
+                if not should_retry(index, ok):
+                    break
+            finish(index, ok, payload, elapsed)
+        return collect()
 
     if workers <= 1:
-        for index in pending:
-            finish(index, *_execute_job(specs[index], trace_dir_arg))
-        return collect()
+        return run_serial()
+
+    def make_executor() -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=workers)
 
     try:
-        executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        executor = make_executor()
     except (NotImplementedError, OSError, PermissionError):
         # No usable process pool on this platform: same results, serially.
-        for index in pending:
-            finish(index, *_execute_job(specs[index], trace_dir_arg))
-        return collect()
+        return run_serial()
 
-    with executor:
-        futures = {
-            index: executor.submit(_execute_job, specs[index], trace_dir_arg)
-            for index in pending
-        }
+    futures: dict[int, concurrent.futures.Future] = {}
+
+    def submit(index: int) -> None:
+        futures[index] = executor.submit(
+            _execute_job,
+            specs[index],
+            trace_dir_arg,
+            attempts[index],
+            True,  # allow_process_exit: the pool absorbs a hard exit
+        )
+
+    def rebuild_and_resubmit() -> None:
+        # A worker hard-died and took the pool's queues with it: every
+        # in-flight future is lost.  Rebuild the pool and resubmit the
+        # cells that have no outcome yet.  A cell whose *current*
+        # attempt is itself scheduled to hard-exit spends that attempt
+        # first (the plan is deterministic, so the parent knows without
+        # hearing back) — resubmitting it unchanged would just kill the
+        # fresh pool again and bleed the other cells' retry budgets.
+        nonlocal executor
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = make_executor()
         for index in pending:
-            try:
-                ok, payload, elapsed = futures[index].result(timeout=timeout)
-            except concurrent.futures.TimeoutError:
-                futures[index].cancel()
-                outcomes[index] = JobFailure(
-                    spec=specs[index],
-                    error_type="TimeoutError",
-                    message=f"job exceeded {timeout}s",
-                    wall_time_s=float(timeout or 0.0),
-                )
+            if index in outcomes:
                 continue
-            except concurrent.futures.process.BrokenProcessPool as error:
-                outcomes[index] = JobFailure(
-                    spec=specs[index],
-                    error_type="BrokenProcessPool",
-                    message=str(error),
-                )
-                continue
-            finish(index, ok, payload, elapsed)
+            while (
+                attempts[index] < retry.max_attempts
+                and f"worker_exit@{attempts[index]}" in labels[index]
+            ):
+                attempts[index] += 1
+                note_attempt(index)
+            submit(index)
+
+    try:
+        for index in pending:
+            note_attempt(index)
+            submit(index)
+        for index in pending:
+            while index not in outcomes:
+                try:
+                    ok, payload, elapsed = futures[index].result(
+                        timeout=timeout
+                    )
+                except concurrent.futures.TimeoutError:
+                    futures[index].cancel()
+                    ok = False
+                    payload = (
+                        "TimeoutError",
+                        f"job exceeded {timeout}s",
+                        "",
+                    )
+                    elapsed = float(timeout or 0.0)
+                except concurrent.futures.process.BrokenProcessPool as error:
+                    ok = False
+                    payload = ("BrokenProcessPool", str(error), "")
+                    elapsed = 0.0
+                    if should_retry(index, ok):
+                        rebuild_and_resubmit()
+                        continue
+                    finish(index, ok, payload, elapsed)
+                    rebuild_and_resubmit()
+                    continue
+                if should_retry(index, ok):
+                    submit(index)
+                    continue
+                finish(index, ok, payload, elapsed)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
 
     return collect()
 

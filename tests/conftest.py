@@ -7,12 +7,24 @@ sweeps) and small enough to keep the suite fast.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.codec.types import CodecConfig
 from repro.video.frame import Frame, VideoSequence
 from repro.video.synthetic import SyntheticConfig, generate_sequence
+
+# Hypothesis profiles: "dev" (default) explores with fresh entropy each
+# run; "ci" derandomizes so a pipeline failure reproduces exactly from
+# the log.  Select with HYPOTHESIS_PROFILE=ci.
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 SMALL_W, SMALL_H = 64, 48
 

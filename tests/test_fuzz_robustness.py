@@ -9,13 +9,17 @@ read out of bounds.  These tests drive that contract with hypothesis.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
 
 from repro.codec.decoder import Decoder
 from repro.codec.encoder import Encoder
-from repro.network.packet import Packetizer
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.network.packet import Depacketizer, Packetizer
 from repro.resilience.none import NoResilience
 
 from tests.conftest import small_config, small_sequence
@@ -115,3 +119,91 @@ class TestCorruptedRealStreams:
         # result structure (last decoded header wins the metadata).
         result = _decode([real_payloads[0], real_payloads[-1]])
         _valid_result(result)
+
+
+@lru_cache(maxsize=1)
+def _pristine_packets():
+    """One encoded frame's packets, shared by every stateful example."""
+    encoder = Encoder(CONFIG, NoResilience())
+    packetizer = Packetizer(CONFIG, mtu=160)
+    ef = encoder.encode_frame(small_sequence(n_frames=1)[0])
+    return tuple(packetizer.packetize(ef))
+
+
+class FaultedTransportMachine(RuleBasedStateMachine):
+    """Arbitrary fault interleavings must never break the receive path.
+
+    The machine holds one frame's real packet stream and, step by step,
+    mauls it through single-fault :class:`FaultPlan` injectors —
+    truncation, byte flips, duplication, reordering, drops — in any
+    order hypothesis cares to interleave.  After every step the whole
+    receive path (depacketizer grouping, fragment-level faults, the
+    decoder) must still produce a structurally valid frame: the decode
+    rule is also the invariant.
+    """
+
+    MAX_PACKETS = 48
+
+    def __init__(self):
+        super().__init__()
+        self.packets = list(_pristine_packets())
+        self.reference = np.full(
+            (CONFIG.height, CONFIG.width), 120, dtype=np.uint8
+        )
+
+    def _apply(self, kind, seed, **knobs):
+        plan = FaultPlan(faults=(FaultSpec(kind=kind, **knobs),), seed=seed)
+        injector = FaultInjector(plan)
+        self.packets = injector.apply_to_packets(self.packets, 0)
+        # Duplication compounds across steps; keep the pool bounded so
+        # runaway growth cannot dominate the step budget.
+        del self.packets[self.MAX_PACKETS:]
+
+    @rule(seed=st.integers(0, 999))
+    def truncate_packets(self, seed):
+        self._apply("truncate", seed, probability=0.5)
+
+    @rule(seed=st.integers(0, 999), amount=st.integers(1, 8))
+    def flip_bytes(self, seed, amount):
+        self._apply("byteflip", seed, probability=0.5, amount=amount)
+
+    @rule(seed=st.integers(0, 999), amount=st.integers(1, 2))
+    def duplicate_packets(self, seed, amount):
+        self._apply("duplicate", seed, probability=0.4, amount=amount)
+
+    @rule(seed=st.integers(0, 999))
+    def reorder_packets(self, seed):
+        self._apply("reorder", seed)
+
+    @rule(seed=st.integers(0, 999))
+    def drop_packets(self, seed):
+        self._apply("drop", seed, probability=0.3)
+
+    @rule(seed=st.integers(0, 999), kind=st.sampled_from(
+        ["corrupt_fragment", "truncate_fragment"]
+    ))
+    def decode_with_fragment_faults(self, seed, kind):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind=kind, probability=0.5),), seed=seed
+        )
+        self._decode(FaultInjector(plan))
+
+    @rule()
+    def decode(self):
+        self._decode(None)
+
+    def _decode(self, injector):
+        fragments = Depacketizer().group_by_frame(self.packets, 1)[0]
+        if injector is not None:
+            fragments = injector.apply_to_fragments(fragments, 0)
+        result = Decoder(CONFIG).decode_frame(
+            fragments, self.reference, expected_index=0
+        )
+        _valid_result(result)
+        assert 0 <= result.damaged_fragments <= len(fragments)
+
+
+TestFaultedTransport = FaultedTransportMachine.TestCase
+TestFaultedTransport.settings = settings(
+    max_examples=25, stateful_step_count=10, deadline=None
+)

@@ -2,18 +2,23 @@
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 
 import pytest
 
 from repro.codec.types import CodecConfig
+from repro.faults import FaultPlan, FaultSpec
 from repro.sim.pipeline import SimulationConfig
 from repro.sim.runner import (
     JobFailure,
     JobResult,
     JobSpec,
     ResultCache,
+    RetryPolicy,
     build_grid,
+    grid_manifest,
+    load_manifest,
     run_grid,
     run_job,
     run_simulations,
@@ -229,6 +234,206 @@ class TestRunGrid:
     def test_max_workers_validation(self):
         with pytest.raises(ValueError):
             run_grid(self.GRID[:1], max_workers=0)
+
+
+def runner_plan(kind="worker_crash", times=1, seed=3, **knobs) -> FaultPlan:
+    return FaultPlan(
+        faults=(FaultSpec(kind=kind, times=times, **knobs),), seed=seed
+    )
+
+
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.001)
+
+
+class TestRetryAndQuarantine:
+    JOBS = [tiny_job(), tiny_job(channel_seed=2)]
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_crash_retried_then_recovers(self, max_workers):
+        outcomes = run_grid(
+            self.JOBS,
+            max_workers=max_workers,
+            faults=runner_plan("worker_crash"),
+            retry=FAST_RETRY,
+        )
+        for outcome in outcomes:
+            assert isinstance(outcome, JobResult)
+            assert outcome.attempts == 2
+            assert "worker_crash@1" in outcome.injected_faults
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_poison_job_quarantined(self, max_workers):
+        # times=None: the crash fires on *every* attempt, so the retry
+        # budget runs out and the job must land in quarantine.
+        outcomes = run_grid(
+            self.JOBS,
+            max_workers=max_workers,
+            faults=runner_plan("worker_crash", times=None),
+            retry=FAST_RETRY,
+        )
+        for outcome in outcomes:
+            assert isinstance(outcome, JobFailure)
+            assert outcome.quarantined
+            assert outcome.attempts == 2
+            assert outcome.error_type == "InjectedWorkerCrash"
+
+    def test_no_retry_policy_keeps_single_attempt_semantics(self):
+        outcomes = run_grid(
+            self.JOBS[:1], max_workers=1, faults=runner_plan("worker_crash")
+        )
+        assert isinstance(outcomes[0], JobFailure)
+        assert outcomes[0].attempts == 1
+        assert not outcomes[0].quarantined
+
+    def test_hard_exit_rebuilds_pool_and_recovers(self):
+        # worker_exit kills the worker process outright; the parent must
+        # rebuild the broken pool and still finish every cell.
+        outcomes = run_grid(
+            self.JOBS,
+            max_workers=2,
+            faults=runner_plan("worker_exit"),
+            retry=FAST_RETRY,
+        )
+        for outcome in outcomes:
+            assert isinstance(outcome, JobResult)
+            assert outcome.attempts == 2
+            assert "worker_exit@1" in outcome.injected_faults
+
+    def test_hang_times_out_then_retry_recovers(self):
+        # Job 0 hangs past the per-job timeout on its first attempt; the
+        # retry runs on a worker freed by the clean job 1.
+        hung = dataclasses.replace(
+            self.JOBS[0],
+            faults=runner_plan("worker_hang", hang_seconds=3.0),
+        )
+        outcomes = run_grid(
+            [hung, self.JOBS[1]],
+            max_workers=2,
+            timeout=1.0,
+            retry=FAST_RETRY,
+        )
+        assert isinstance(outcomes[0], JobResult)
+        assert outcomes[0].attempts == 2
+        assert "worker_hang@1" in outcomes[0].injected_faults
+        assert isinstance(outcomes[1], JobResult)
+
+    def test_retry_delays_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_s=0.1, backoff_factor=2.0, jitter=0.5
+        )
+        for attempt, base in ((1, 0.1), (2, 0.2)):
+            delay = policy.delay_for(attempt, key="job")
+            assert delay == policy.delay_for(attempt, key="job")
+            assert base <= delay <= base * 1.5
+        assert policy.delay_for(1, key="a") != policy.delay_for(1, key="b")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestFaultedCaching:
+    def test_failures_never_cached_under_fault_plans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(
+            [tiny_job()],
+            max_workers=1,
+            cache=cache,
+            faults=runner_plan("worker_crash", times=None),
+            retry=FAST_RETRY,
+        )
+        assert len(cache) == 0
+
+    def test_poison_cache_recomputes_and_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = runner_plan("poison_cache")
+        first = run_grid(
+            [tiny_job()], max_workers=1, cache=cache, faults=plan
+        )
+        assert not first[0].from_cache
+        assert len(cache) == 1
+        # Second run: the plan rots the entry on disk before the cache
+        # scan; the corrupt entry must read as a miss and recompute.
+        second = run_grid(
+            [tiny_job()], max_workers=1, cache=cache, faults=plan
+        )
+        assert isinstance(second[0], JobResult)
+        assert not second[0].from_cache
+        assert "poison_cache" in second[0].injected_faults
+        assert second[0].result.frames == first[0].result.frames
+        assert len(cache) == 1  # the recomputed result was re-stored
+
+    def test_spec_level_plan_wins_over_run_level(self):
+        spec = dataclasses.replace(tiny_job(), faults=FaultPlan())
+        outcomes = run_grid(
+            [spec],
+            max_workers=1,
+            faults=runner_plan("worker_crash", times=None),
+        )
+        # The spec's own (empty) plan shields it from the run-level one.
+        assert isinstance(outcomes[0], JobResult)
+
+
+class TestGridManifest:
+    def test_manifest_covers_every_job(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        good = tiny_job()
+        bad = tiny_job(config=SimulationConfig(codec=CodecConfig()))
+        run_grid([good], max_workers=1, cache=cache)  # warm one entry
+        manifest_file = tmp_path / "manifest.json"
+        outcomes = run_grid(
+            [good, bad],
+            max_workers=1,
+            cache=cache,
+            manifest_path=manifest_file,
+        )
+        manifest = load_manifest(manifest_file)
+        assert manifest.n_jobs == 2
+        assert not manifest.complete
+        statuses = [entry.status for entry in manifest.entries]
+        assert statuses == ["cached", "failed"]
+        degraded = manifest.degraded
+        assert len(degraded) == 1
+        assert degraded[0].error_type == "ValueError"
+        assert degraded[0].content_hash == bad.content_hash()
+        assert manifest == grid_manifest(outcomes)
+
+    def test_manifest_quarantine_and_faults_recorded(self, tmp_path):
+        manifest_file = tmp_path / "manifest.json"
+        run_grid(
+            [tiny_job()],
+            max_workers=1,
+            faults=runner_plan("worker_crash", times=None),
+            retry=FAST_RETRY,
+            manifest_path=manifest_file,
+        )
+        entry = load_manifest(manifest_file).entries[0]
+        assert entry.status == "failed"
+        assert entry.quarantined
+        assert entry.attempts == 2
+        assert "worker_crash@1" in entry.injected_faults
+        assert "worker_crash@2" in entry.injected_faults
+
+    def test_complete_manifest_written_on_success(self, tmp_path):
+        manifest_file = tmp_path / "manifest.json"
+        run_grid([tiny_job()], max_workers=1, manifest_path=manifest_file)
+        manifest = load_manifest(manifest_file)
+        assert manifest.complete
+        assert manifest.entries[0].status == "ok"
+        assert manifest.entries[0].attempts == 1
+
+    def test_manifest_schema_rejected_on_mismatch(self, tmp_path):
+        import json
+
+        manifest_file = tmp_path / "manifest.json"
+        run_grid([tiny_job()], max_workers=1, manifest_path=manifest_file)
+        record = json.loads(manifest_file.read_text())
+        record["schema"] = 99
+        manifest_file.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="manifest schema"):
+            load_manifest(manifest_file)
 
 
 class TestRunJob:
