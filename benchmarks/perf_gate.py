@@ -1,0 +1,100 @@
+"""CI perf-regression gate over the committed benchmark baselines.
+
+Compares a freshly measured benchmark JSON against the committed one on
+a *ratio* field (a speedup), not on absolute wall times: CI runners
+differ wildly in absolute speed, but a batched-vs-scalar or
+word-level-vs-bit-serial ratio measured on one host is comparable to
+the same ratio measured on another.  The gate fails when the measured
+ratio falls more than ``--tolerance`` (default 25%) below the baseline.
+
+Usage (one comparison per invocation; CI calls it once per benchmark)::
+
+    python benchmarks/perf_gate.py \\
+        --baseline BENCH_blocks.json \\
+        --measured measured/BENCH_blocks.json \\
+        --field combined_block_speedup
+
+Fields may be dotted paths into nested objects (``after.encode_fps``).
+Exit status: 0 on pass, 1 on regression, 2 on malformed inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(record: dict, field: str):
+    """Resolve a dotted field path inside a JSON record."""
+    value = record
+    for part in field.split("."):
+        if not isinstance(value, dict) or part not in value:
+            raise KeyError(field)
+        value = value[part]
+    return value
+
+
+def check(
+    baseline: dict,
+    measured: dict,
+    field: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[bool, str]:
+    """Compare one ratio field; returns (passed, human-readable line)."""
+    base = float(lookup(baseline, field))
+    got = float(lookup(measured, field))
+    if base <= 0:
+        raise ValueError(f"baseline {field} must be positive, got {base}")
+    floor = base * (1.0 - tolerance)
+    passed = got >= floor
+    verdict = "OK" if passed else "REGRESSION"
+    line = (
+        f"{verdict}: {field} measured {got:.3g} vs baseline {base:.3g} "
+        f"(floor {floor:.3g}, tolerance {tolerance:.0%})"
+    )
+    return passed, line
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a benchmark ratio regresses vs its baseline"
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed benchmark JSON"
+    )
+    parser.add_argument(
+        "--measured", required=True, help="freshly measured benchmark JSON"
+    )
+    parser.add_argument(
+        "--field",
+        required=True,
+        help="dotted path of the ratio field to compare",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below the baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        print(f"tolerance must be in [0, 1), got {args.tolerance}")
+        return 2
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.measured, encoding="utf-8") as handle:
+            measured = json.load(handle)
+        passed, line = check(baseline, measured, args.field, args.tolerance)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"perf gate could not compare: {error!r}")
+        return 2
+    print(line)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

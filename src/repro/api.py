@@ -46,9 +46,26 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro.codec.dct import forward_dct_blocks, inverse_dct_blocks
 from repro.codec.decoder import Decoder, DecodeResult
 from repro.codec.encoder import Encoder
+from repro.codec.motion import (
+    DiamondSearchMotionEstimator,
+    MotionField,
+    ThreeStepMotionEstimator,
+    build_motion_estimator,
+    candidate_sads,
+)
+from repro.codec.quant import dequantize_blocks, quantize_blocks
 from repro.codec.rate import RateController
+from repro.codec.reference import (
+    dequantize_scalar,
+    diamond_search_scalar,
+    forward_dct_scalar,
+    inverse_dct_scalar,
+    quantize_scalar,
+    three_step_search_scalar,
+)
 from repro.codec.types import (
     CodecConfig,
     EncodedFrame,
@@ -359,6 +376,22 @@ __all__ = [
     "Encoder",
     "Decoder",
     "RateController",
+    # batched block kernels and their scalar reference oracles
+    "forward_dct_blocks",
+    "inverse_dct_blocks",
+    "quantize_blocks",
+    "dequantize_blocks",
+    "candidate_sads",
+    "MotionField",
+    "DiamondSearchMotionEstimator",
+    "ThreeStepMotionEstimator",
+    "build_motion_estimator",
+    "forward_dct_scalar",
+    "inverse_dct_scalar",
+    "quantize_scalar",
+    "dequantize_scalar",
+    "diamond_search_scalar",
+    "three_step_search_scalar",
     # harness types
     "SimulationConfig",
     "SimulationResult",

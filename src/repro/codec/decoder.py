@@ -24,8 +24,8 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.codec.bitstream import BitReader, BitstreamError
-from repro.codec.dct import inverse_dct
-from repro.codec.quant import dequantize
+from repro.codec.dct import inverse_dct_blocks
+from repro.codec.quant import dequantize_blocks
 from repro.codec.syntax import (
     decode_macroblock_layer,
     read_fragment_header,
@@ -286,16 +286,8 @@ class Decoder:
     def _dequantize_batch(
         self, coefficients: np.ndarray, intra_flags: np.ndarray, qp: int
     ) -> np.ndarray:
-        """Dequantize a ``(k, n, 8, 8)`` batch grouped by coding mode."""
-        n = coefficients.shape[1]
-        out = np.empty(coefficients.shape, dtype=np.int64)
-        for intra in (True, False):
-            mask = intra_flags if intra else ~intra_flags
-            if mask.any():
-                out[mask] = dequantize(
-                    coefficients[mask].reshape(-1, 8, 8), qp, intra=intra
-                ).reshape(-1, n, 8, 8)
-        return out
+        """Dequantize a ``(k, n, 8, 8)`` batch in one mixed-mode pass."""
+        return dequantize_blocks(coefficients, intra_flags[:, None], qp)
 
     def _reconstruct_luma_batch(
         self,
@@ -313,7 +305,7 @@ class Decoder:
         dequantized = self._dequantize_batch(
             coefficients, intra_flags, header.qp
         )
-        blocks = inverse_dct(
+        blocks = inverse_dct_blocks(
             dequantized.reshape(-1, 8, 8), config.use_fixed_point_dct
         )
         mb_pixels = blocks_to_macroblocks(blocks.reshape(len(parsed), 4, 8, 8))
@@ -368,7 +360,7 @@ class Decoder:
         dequantized = self._dequantize_batch(
             coefficients, intra_flags, header.qp
         )
-        blocks = inverse_dct(
+        blocks = inverse_dct_blocks(
             dequantized.reshape(-1, 8, 8), config.use_fixed_point_dct
         ).reshape(len(parsed), 2, 8, 8)
 

@@ -34,7 +34,7 @@ from repro.codec.blocks import (
     plane_to_blocks,
     sad_self,
 )
-from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.dct import forward_dct_blocks, inverse_dct_blocks
 from repro.codec.halfpel import (
     halfpel_to_pixels,
     motion_compensate_half,
@@ -46,7 +46,7 @@ from repro.codec.motion import (
     motion_compensate,
     motion_compensate_chroma,
 )
-from repro.codec.quant import dequantize, quantize
+from repro.codec.quant import dequantize_blocks, quantize_blocks
 from repro.codec.syntax import encode_macroblock_layer
 from repro.codec.types import (
     CodecConfig,
@@ -332,21 +332,14 @@ class Encoder:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Quantize a ``(rows, cols, n, 8, 8)`` batch by per-MB mode.
 
+        One single-pass call per direction: the per-block intra mask is
+        the MB grid broadcast across each macroblock's blocks, so mixed
+        frames never split into per-mode gather/scatter passes.
         Returns ``(levels, reconstructed_coefficients)``.
         """
-        n = coefficients.shape[2]
-        levels = np.empty_like(coefficients, dtype=np.int32)
-        recon = np.empty_like(coefficients, dtype=np.int32)
-        for intra in (True, False):
-            mask = intra_grid if intra else ~intra_grid
-            if not mask.any():
-                continue
-            levels[mask] = quantize(
-                coefficients[mask].reshape(-1, 8, 8), qp, intra=intra
-            ).reshape(-1, n, 8, 8)
-            recon[mask] = dequantize(
-                levels[mask].reshape(-1, 8, 8), qp, intra=intra
-            ).reshape(-1, n, 8, 8)
+        intra_blocks = intra_grid[:, :, None]
+        levels = quantize_blocks(coefficients, intra_blocks, qp)
+        recon = dequantize_blocks(levels, intra_blocks, qp)
         return levels, recon
 
     def _encode_chroma_plane(
@@ -375,13 +368,13 @@ class Encoder:
             intra_px, plane_i, plane_i - prediction.astype(np.int64)
         )
         blocks = plane_to_blocks(residual).reshape(-1, 8, 8)
-        coefficients = forward_dct(blocks, config.use_fixed_point_dct)
+        coefficients = forward_dct_blocks(blocks, config.use_fixed_point_dct)
         self.counters.dct_blocks += blocks.shape[0]
         coefficients = coefficients.reshape(mb_rows, mb_cols, 1, 8, 8)
         levels, recon_coeffs = self._quantize_blocks(coefficients, intra_grid, qp)
         self.counters.quant_blocks += mb_rows * mb_cols
         self.counters.dequant_blocks += mb_rows * mb_cols
-        decoded = inverse_dct(
+        decoded = inverse_dct_blocks(
             recon_coeffs.reshape(-1, 8, 8), config.use_fixed_point_dct
         )
         self.counters.idct_blocks += mb_rows * mb_cols
@@ -445,7 +438,9 @@ class Encoder:
             # Batch transform: (rows, cols, 4, 8, 8) -> flat block batch.
             mb_pixels = frame_to_macroblocks(residual)
             block_batch = macroblocks_to_blocks(mb_pixels).reshape(-1, 8, 8)
-            coefficients = forward_dct(block_batch, config.use_fixed_point_dct)
+            coefficients = forward_dct_blocks(
+                block_batch, config.use_fixed_point_dct
+            )
             self.counters.dct_blocks += block_batch.shape[0]
 
             coefficients = coefficients.reshape(mb_rows, mb_cols, 4, 8, 8)
@@ -455,7 +450,7 @@ class Encoder:
             self.counters.quant_blocks += 4 * mb_rows * mb_cols
             self.counters.dequant_blocks += 4 * mb_rows * mb_cols
 
-            decoded_blocks = inverse_dct(
+            decoded_blocks = inverse_dct_blocks(
                 recon_coeffs.reshape(-1, 8, 8), config.use_fixed_point_dct
             )
             self.counters.idct_blocks += 4 * mb_rows * mb_cols

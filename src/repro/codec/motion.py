@@ -4,8 +4,14 @@ All estimators are vectorized across the entire frame: the full search
 computes, for each of the ``(2R+1)^2`` displacements, the SAD of *every*
 macroblock at once via a shifted-difference image and a block-sum
 reshape; the per-macroblock searches (three-step, diamond) track
-per-macroblock centers and gather candidate blocks with advanced
-indexing.
+per-macroblock centers and score whole search rounds through
+:func:`candidate_sads`, one strided-window gather and one
+absolute-difference reduction per round rather than one per candidate
+offset.  The batching never changes a decision: round winners are
+recovered with a first-minimum ``argmin`` that reproduces the
+sequential visit order, and the diamond walk re-plays its (rare)
+within-round center moves exactly — streams stay byte-for-byte
+identical to the scalar search.
 
 The estimators accept an optional *cost function* so that PBPAIR can
 bias the search toward reference blocks with high probability of
@@ -37,7 +43,10 @@ from repro.obs import get_tracer
 #: Cost-function signature: arrays broadcastable to a common shape; must
 #: return a float cost of the same broadcast shape.  ``dy``/``dx`` may be
 #: scalars (full search evaluates one displacement for all macroblocks at
-#: a time) or per-macroblock arrays (three-step search).
+#: a time), per-macroblock ``(k,)`` arrays, or whole batched rounds of
+#: shape ``(n_offsets, k)`` against ``(k,)`` ``mb_row``/``mb_col`` (the
+#: three-step and diamond searches score every candidate of a round in
+#: one call).
 MECostFunction = Callable[
     [np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray
 ]
@@ -85,6 +94,37 @@ def _block_sums(diff: np.ndarray) -> np.ndarray:
         diff.reshape(height // MB, MB, width // MB, MB)
         .sum(axis=(1, 3))
     )
+
+
+def candidate_sads(
+    current_mbs: np.ndarray,
+    windows: np.ndarray,
+    origin_y: np.ndarray,
+    origin_x: np.ndarray,
+    dy: np.ndarray,
+    dx: np.ndarray,
+) -> np.ndarray:
+    """Batched SAD evaluator: every candidate of every macroblock at once.
+
+    The workhorse of the per-macroblock searches.  ``windows`` is a
+    ``sliding_window_view`` of the padded reference exposing every 16x16
+    block as ``windows[y, x]`` without copying; ``origin_y``/``origin_x``
+    are the ``(k,)`` padded-frame origins of the macroblocks being
+    searched, and ``dy``/``dx`` are displacement arrays of shape ``(k,)``
+    (one candidate per macroblock) or ``(n_offsets, k)`` (a whole search
+    round — e.g. all 8 large-diamond neighbours of every macroblock).
+    One advanced-indexing gather plus one absolute-difference reduction
+    scores the entire round; returns int64 SADs shaped like ``dy``.
+
+    The gather already copies, so the difference and absolute value are
+    computed in place inside that copy: allocating two further
+    round-sized temporaries per call makes the allocator the bottleneck
+    on whole-round ``(n_offsets, k, 16, 16)`` stacks.
+    """
+    candidates = windows[origin_y + dy, origin_x + dx]
+    np.subtract(current_mbs, candidates, out=candidates)
+    np.abs(candidates, out=candidates)
+    return candidates.sum(axis=(-2, -1))
 
 
 class MotionEstimator(abc.ABC):
@@ -195,26 +235,6 @@ class ThreeStepMotionEstimator(MotionEstimator):
             )
         self.search_range = search_range
 
-    def _gather_sads(
-        self,
-        current_mbs: np.ndarray,
-        padded: np.ndarray,
-        origins_y: np.ndarray,
-        origins_x: np.ndarray,
-        cand_y: np.ndarray,
-        cand_x: np.ndarray,
-    ) -> np.ndarray:
-        """SAD of each active macroblock against one candidate position.
-
-        ``cand_y``/``cand_x`` are absolute padded-frame origins of the
-        candidate blocks, one per active macroblock.
-        """
-        offsets = np.arange(MB)
-        rows = cand_y[:, None, None] + offsets[None, :, None]
-        cols = cand_x[:, None, None] + offsets[None, None, :]
-        candidates = padded[rows, cols]
-        return np.abs(current_mbs - candidates).sum(axis=(1, 2))
-
     def estimate(
         self,
         current: np.ndarray,
@@ -247,6 +267,7 @@ class ThreeStepMotionEstimator(MotionEstimator):
         )
         origins_y = rows_idx * MB + srange
         origins_x = cols_idx * MB + srange
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (MB, MB))
 
         center_dy = np.zeros(rows_idx.size, dtype=np.int64)
         center_dx = np.zeros(rows_idx.size, dtype=np.int64)
@@ -254,35 +275,43 @@ class ThreeStepMotionEstimator(MotionEstimator):
         best_sad = np.zeros(rows_idx.size, dtype=np.int64)
         best_dy = np.zeros(rows_idx.size, dtype=np.int64)
         best_dx = np.zeros(rows_idx.size, dtype=np.int64)
+        lanes = np.arange(rows_idx.size)
         evaluated = 0
 
         step = 1 << max(srange.bit_length() - 1, 0)
         seeded = False
         while step >= 1:
-            for oy in (-step, 0, step):
-                for ox in (-step, 0, step):
-                    if seeded and oy == 0 and ox == 0:
-                        continue  # center already scored in a prior round
-                    dy = np.clip(center_dy + oy, -srange, srange)
-                    dx = np.clip(center_dx + ox, -srange, srange)
-                    sad = self._gather_sads(
-                        current_mbs,
-                        padded,
-                        origins_y,
-                        origins_x,
-                        origins_y + dy,
-                        origins_x + dx,
-                    )
-                    evaluated += rows_idx.size
-                    if cost_function is None:
-                        cost = sad.astype(np.float64)
-                    else:
-                        cost = cost_function(sad, dy, dx, rows_idx, cols_idx)
-                    better = cost < best_cost
-                    best_cost = np.where(better, cost, best_cost)
-                    best_sad = np.where(better, sad, best_sad)
-                    best_dy = np.where(better, dy, best_dy)
-                    best_dx = np.where(better, dx, best_dx)
+            # The whole 9-point (8 once seeded) round is scored with one
+            # batched gather; taking the *first* minimum per macroblock
+            # (np.argmin) reproduces the sequential visit order exactly,
+            # because under strict-< updates the first offset attaining
+            # the round minimum is the one that ends up winning.
+            offsets = np.array(
+                [
+                    (oy, ox)
+                    for oy in (-step, 0, step)
+                    for ox in (-step, 0, step)
+                    if not (seeded and oy == 0 and ox == 0)
+                ],
+                dtype=np.int64,
+            )
+            dy = np.clip(center_dy + offsets[:, :1], -srange, srange)
+            dx = np.clip(center_dx + offsets[:, 1:], -srange, srange)
+            sad = candidate_sads(
+                current_mbs, windows, origins_y, origins_x, dy, dx
+            )
+            evaluated += offsets.shape[0] * rows_idx.size
+            if cost_function is None:
+                cost = sad.astype(np.float64)
+            else:
+                cost = cost_function(sad, dy, dx, rows_idx, cols_idx)
+            pick = np.argmin(cost, axis=0)
+            round_cost = cost[pick, lanes]
+            better = round_cost < best_cost
+            best_cost = np.where(better, round_cost, best_cost)
+            best_sad = np.where(better, sad[pick, lanes], best_sad)
+            best_dy = np.where(better, dy[pick, lanes], best_dy)
+            best_dx = np.where(better, dx[pick, lanes], best_dx)
             center_dy, center_dx = best_dy.copy(), best_dx.copy()
             seeded = True
             step //= 2
@@ -362,16 +391,6 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         origins_x = cols_idx * MB + srange
         windows = np.lib.stride_tricks.sliding_window_view(padded, (MB, MB))
 
-        def gather(
-            cur: np.ndarray,
-            oy: np.ndarray,
-            ox: np.ndarray,
-            dy: np.ndarray,
-            dx: np.ndarray,
-        ) -> np.ndarray:
-            candidates = windows[oy + dy, ox + dx]
-            return np.abs(cur - candidates).sum(axis=(1, 2))
-
         def score(
             sel: np.ndarray, sad: np.ndarray, dy: np.ndarray, dx: np.ndarray
         ) -> np.ndarray:
@@ -382,10 +401,74 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         best_dy = np.zeros(n, dtype=np.int64)
         best_dx = np.zeros(n, dtype=np.int64)
         everyone = np.ones(n, dtype=bool)
-        best_sad = gather(current_mbs, origins_y, origins_x, best_dy, best_dx)
+        best_sad = candidate_sads(
+            current_mbs, windows, origins_y, origins_x, best_dy, best_dx
+        )
         best_cost = score(everyone, best_sad, best_dy, best_dx)
         evaluated = n
         evals_per_mb = np.ones(n, dtype=np.int64)
+
+        def walk_round(offsets: np.ndarray, sel: np.ndarray) -> np.ndarray:
+            """One drift-exact diamond round; returns the improved lanes.
+
+            The sequential walk visits the round's offsets in order and
+            *moves the center as soon as one improves*, so later offsets
+            are relative to the already-updated position.  Phase 1 below
+            scores the entire round against the fixed incoming center in
+            one batched reduction — which is exact up to and including
+            the first improving offset of each macroblock (nothing moved
+            before it).  Macroblocks with no improving offset are fully
+            decided by that single reduction; only the (typically few)
+            movers re-play their remaining offsets in phase 2, one
+            batched step per offset rank, reproducing the drift bit for
+            bit.
+            """
+            n_off = offsets.shape[0]
+            dy = np.clip(best_dy[sel] + offsets[:, :1], -srange, srange)
+            dx = np.clip(best_dx[sel] + offsets[:, 1:], -srange, srange)
+            sad = candidate_sads(
+                current_mbs[sel], windows, origins_y[sel], origins_x[sel],
+                dy, dx,
+            )
+            cost = score(sel, sad, dy, dx)
+            improves = cost < best_cost[sel]
+            lanes = np.nonzero(improves.any(axis=0))[0]
+            if lanes.size == 0:
+                return sel[:0]
+            first = np.argmax(improves[:, lanes], axis=0)
+            idx = sel[lanes]
+            best_cost[idx] = cost[first, lanes]
+            best_sad[idx] = sad[first, lanes]
+            best_dy[idx] = dy[first, lanes]
+            best_dx[idx] = dx[first, lanes]
+            improved = idx
+            # Phase 2: drifted lanes continue from the offset after their
+            # first improvement, centers now live.
+            ptr = first + 1
+            live = ptr < n_off
+            idx, ptr = idx[live], ptr[live]
+            while idx.size:
+                off = offsets[ptr]
+                dy_c = np.clip(best_dy[idx] + off[:, 0], -srange, srange)
+                dx_c = np.clip(best_dx[idx] + off[:, 1], -srange, srange)
+                sad_c = candidate_sads(
+                    current_mbs[idx], windows,
+                    origins_y[idx], origins_x[idx], dy_c, dx_c,
+                )
+                cost_c = score(idx, sad_c, dy_c, dx_c)
+                better = cost_c < best_cost[idx]
+                moved = idx[better]
+                best_cost[moved] = cost_c[better]
+                best_sad[moved] = sad_c[better]
+                best_dy[moved] = dy_c[better]
+                best_dx[moved] = dx_c[better]
+                ptr = ptr + 1
+                live = ptr < n_off
+                idx, ptr = idx[live], ptr[live]
+            return improved
+
+        large = np.asarray(self._LARGE_DIAMOND, dtype=np.int64)
+        small = np.asarray(self._SMALL_DIAMOND, dtype=np.int64)
 
         searching = best_sad >= self.early_exit_sad  # zero-motion shortcut
         # Large-diamond walk: each round moves every still-searching
@@ -394,47 +477,20 @@ class DiamondSearchMotionEstimator(MotionEstimator):
         for _ in range(2 * srange):
             if not searching.any():
                 break
-            improved = np.zeros(n, dtype=bool)
             sel = np.nonzero(searching)[0]
-            cur = current_mbs[sel]
-            oy_sel = origins_y[sel]
-            ox_sel = origins_x[sel]
-            for oy, ox in self._LARGE_DIAMOND:
-                dy = np.clip(best_dy[sel] + oy, -srange, srange)
-                dx = np.clip(best_dx[sel] + ox, -srange, srange)
-                sad = gather(cur, oy_sel, ox_sel, dy, dx)
-                cost = score(searching, sad, dy, dx)
-                evaluated += sel.size
-                evals_per_mb[sel] += 1
-                better = cost < best_cost[sel]
-                idx = sel[better]
-                best_cost[idx] = cost[better]
-                best_sad[idx] = sad[better]
-                best_dy[idx] = dy[better]
-                best_dx[idx] = dx[better]
-                improved[idx] = True
-            searching &= improved
+            improved = walk_round(large, sel)
+            evaluated += large.shape[0] * sel.size
+            evals_per_mb[sel] += large.shape[0]
+            searching = np.zeros(n, dtype=bool)
+            searching[improved] = True
 
         # Small-diamond refinement for everything that actually searched.
         refine = best_sad >= self.early_exit_sad
         if refine.any():
             sel = np.nonzero(refine)[0]
-            cur = current_mbs[sel]
-            oy_sel = origins_y[sel]
-            ox_sel = origins_x[sel]
-            for oy, ox in self._SMALL_DIAMOND:
-                dy = np.clip(best_dy[sel] + oy, -srange, srange)
-                dx = np.clip(best_dx[sel] + ox, -srange, srange)
-                sad = gather(cur, oy_sel, ox_sel, dy, dx)
-                cost = score(refine, sad, dy, dx)
-                evaluated += sel.size
-                evals_per_mb[sel] += 1
-                better = cost < best_cost[sel]
-                idx = sel[better]
-                best_cost[idx] = cost[better]
-                best_sad[idx] = sad[better]
-                best_dy[idx] = dy[better]
-                best_dx[idx] = dx[better]
+            walk_round(small, sel)
+            evaluated += small.shape[0] * sel.size
+            evals_per_mb[sel] += small.shape[0]
 
         mvs[rows_idx, cols_idx, 0] = best_dy
         mvs[rows_idx, cols_idx, 1] = best_dx

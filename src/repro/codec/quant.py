@@ -6,7 +6,18 @@ dead zone for inter blocks, and reconstructs mid-rise:
 value odd — the standard's oddification).  The intra DC coefficient is
 special-cased with a fixed step of 8, as in the standard.
 
-All functions are vectorized over ``(n, 8, 8)`` coefficient batches.
+Two call shapes are supported:
+
+* :func:`quantize` / :func:`dequantize` take a uniform coding mode for
+  the whole batch — the historical interface, kept for callers that
+  already grouped their blocks by mode.
+* :func:`quantize_blocks` / :func:`dequantize_blocks` take a *per-block*
+  intra mask and process a mixed intra/inter ``(..., 8, 8)`` stack in a
+  single vectorized pass (the dead zone and the DC special case are
+  selected per block with ``np.where``), which is how the encoder and
+  decoder feed a whole frame at once without boolean-mask gather/scatter
+  round trips.  Both paths compute the same per-element arithmetic, so
+  they are bit-identical.
 """
 
 from __future__ import annotations
@@ -26,46 +37,69 @@ def _check_qp(qp: int) -> None:
         raise ValueError(f"QP must be in [1, 31], got {qp}")
 
 
-def quantize(coefficients: np.ndarray, qp: int, intra: bool) -> np.ndarray:
-    """Quantize a batch of 8x8 DCT coefficient blocks to integer levels.
+def _block_mask(intra, lead_shape: tuple[int, ...]) -> np.ndarray:
+    """Broadcast a per-block intra flag to the batch's leading axes."""
+    return np.broadcast_to(np.asarray(intra, dtype=bool), lead_shape)
 
-    Intra blocks use ``level = coeff / (2 QP)``; inter blocks subtract a
-    half-step dead zone first, which suppresses small residual noise.
-    The intra DC term uses the fixed step :data:`INTRA_DC_STEP` and is
-    kept strictly positive (H.263 codes it as an unsigned byte).
+
+def quantize_blocks(
+    coefficients: np.ndarray, intra, qp: int
+) -> np.ndarray:
+    """Quantize a mixed intra/inter ``(..., 8, 8)`` stack in one pass.
+
+    ``intra`` is a bool array broadcastable to the stack's leading axes
+    (one flag per block).  Intra blocks use ``level = coeff / (2 QP)``;
+    inter blocks subtract a half-step dead zone first, which suppresses
+    small residual noise.  The intra DC term uses the fixed step
+    :data:`INTRA_DC_STEP` and is kept strictly positive (H.263 codes it
+    as an unsigned byte).
     """
     _check_qp(qp)
     coefficients = np.clip(np.asarray(coefficients), COEFF_MIN, COEFF_MAX)
+    intra = _block_mask(intra, coefficients.shape[:-2])
     magnitude = np.abs(coefficients.astype(np.int64))
     step = 2 * qp
-    if intra:
-        levels = magnitude // step
-    else:
-        levels = np.maximum(magnitude - qp // 2, 0) // step
+    # The dead zone is the only per-mode difference off the DC path, so
+    # a per-block offset keeps the whole stack in one reduction.
+    dead_zone = np.where(intra[..., None, None], 0, qp // 2)
+    levels = np.maximum(magnitude - dead_zone, 0) // step
     levels = np.clip(levels, 0, LEVEL_MAX)
     levels = (np.sign(coefficients) * levels).astype(np.int32)
-    if intra:
-        dc = np.rint(coefficients[..., 0, 0] / INTRA_DC_STEP).astype(np.int32)
-        levels[..., 0, 0] = np.clip(dc, 1, 254)
+    dc = np.rint(coefficients[..., 0, 0] / INTRA_DC_STEP).astype(np.int32)
+    levels[..., 0, 0] = np.where(
+        intra, np.clip(dc, 1, 254), levels[..., 0, 0]
+    )
     return levels
 
 
-def dequantize(levels: np.ndarray, qp: int, intra: bool) -> np.ndarray:
-    """Reconstruct DCT coefficients from quantized levels.
+def dequantize_blocks(levels: np.ndarray, intra, qp: int) -> np.ndarray:
+    """Reconstruct a mixed intra/inter stack of quantized levels.
 
-    Inverse of :func:`quantize` up to quantization error:
+    Inverse of :func:`quantize_blocks` up to quantization error:
     ``|rec| = QP (2|level| + 1)`` for nonzero levels, oddified for even
-    QP, clamped to the 12-bit coefficient range.
+    QP, clamped to the 12-bit coefficient range; the intra DC term is
+    rebuilt with its fixed step.
     """
     _check_qp(qp)
     levels = np.asarray(levels, dtype=np.int64)
+    intra = _block_mask(intra, levels.shape[:-2])
     magnitude = np.abs(levels)
     reconstructed = qp * (2 * magnitude + 1)
     if qp % 2 == 0:
         reconstructed -= 1
     reconstructed = np.where(magnitude == 0, 0, reconstructed)
     reconstructed = np.sign(levels) * reconstructed
-    if intra:
-        reconstructed = reconstructed.copy()
-        reconstructed[..., 0, 0] = levels[..., 0, 0] * INTRA_DC_STEP
+    reconstructed[..., 0, 0] = np.where(
+        intra, levels[..., 0, 0] * INTRA_DC_STEP, reconstructed[..., 0, 0]
+    )
     return np.clip(reconstructed, COEFF_MIN, COEFF_MAX).astype(np.int32)
+
+
+def quantize(coefficients: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Quantize a batch of 8x8 blocks that share one coding mode."""
+    return quantize_blocks(coefficients, bool(intra), qp)
+
+
+def dequantize(levels: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Reconstruct DCT coefficients from same-mode quantized levels."""
+    return dequantize_blocks(levels, bool(intra), qp)

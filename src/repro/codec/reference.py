@@ -1,0 +1,355 @@
+"""Scalar per-block reference implementations of the codec kernels.
+
+The production kernels in :mod:`repro.codec.dct`, :mod:`repro.codec.quant`
+and :mod:`repro.codec.motion` are batched: whole ``(n, 8, 8)`` stacks per
+transform call, whole search rounds per SAD reduction.  This module keeps
+the obvious one-block-at-a-time formulation of the same arithmetic —
+a Python loop over blocks (or macroblocks), each processed alone.
+
+It exists for two reasons:
+
+* **Differential oracle.**  ``tests/test_block_kernels.py`` checks the
+  batched kernels against these functions over random stacks and full
+  synthetic sequences: identical coefficients, identical motion vectors
+  and identical operation counts.  The reference deliberately re-derives
+  its own fixed-point basis from :func:`repro.codec.dct.dct_basis` and
+  re-implements the rounding shift, so a bug in the production fast
+  paths (e.g. the float64-exact BLAS route) cannot hide in a shared
+  helper.
+* **Benchmark baseline.**  ``benchmarks/bench_block_kernels.py`` times
+  these loops as the "before" of the batched kernels; the ratio is what
+  ``BENCH_blocks.json`` records and the CI perf gate guards.
+
+Nothing here counts operations into the observability tracer: the
+reference reports its counts in return values only, so differential
+tests can compare them against what the batched kernels *did* record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.codec.blocks import MB
+from repro.codec.dct import FIXED_POINT_BITS, dct_basis
+from repro.codec.motion import MECostFunction, MotionField
+from repro.codec.quant import (
+    COEFF_MAX,
+    COEFF_MIN,
+    INTRA_DC_STEP,
+    LEVEL_MAX,
+)
+
+_LARGE_DIAMOND = (
+    (-2, 0), (-1, -1), (-1, 1), (0, -2), (0, 2), (1, -1), (1, 1), (2, 0),
+)
+_SMALL_DIAMOND = ((-1, 0), (0, -1), (0, 1), (1, 0))
+
+
+def _int_basis() -> np.ndarray:
+    """13-bit fixed-point DCT basis, re-derived from the float basis."""
+    return np.round(dct_basis() * (1 << FIXED_POINT_BITS)).astype(np.int64)
+
+
+def _rounded_shift(values: np.ndarray, bits: int) -> np.ndarray:
+    """Arithmetic right shift, round to nearest, ties away from zero."""
+    half = 1 << (bits - 1)
+    return np.where(
+        values >= 0,
+        (values + half) >> bits,
+        -((-values + half) >> bits),
+    )
+
+
+def forward_dct_block(block: np.ndarray, fixed_point: bool = True) -> np.ndarray:
+    """Forward DCT of a single 8x8 block."""
+    if not fixed_point:
+        basis = dct_basis()
+        return basis @ np.asarray(block, dtype=np.float64) @ basis.T
+    basis = _int_basis()
+    block = np.rint(np.asarray(block)).astype(np.int64)
+    stage1 = _rounded_shift(basis @ block, FIXED_POINT_BITS)
+    return _rounded_shift(stage1 @ basis.T, FIXED_POINT_BITS)
+
+
+def inverse_dct_block(
+    coefficients: np.ndarray, fixed_point: bool = True
+) -> np.ndarray:
+    """Inverse DCT of a single 8x8 coefficient block."""
+    if not fixed_point:
+        basis = dct_basis()
+        return basis.T @ np.asarray(coefficients, dtype=np.float64) @ basis
+    basis = _int_basis()
+    coefficients = np.rint(np.asarray(coefficients)).astype(np.int64)
+    stage1 = _rounded_shift(basis.T @ coefficients, FIXED_POINT_BITS)
+    return _rounded_shift(stage1 @ basis, FIXED_POINT_BITS)
+
+
+def forward_dct_scalar(
+    blocks: np.ndarray, fixed_point: bool = True
+) -> np.ndarray:
+    """One-block-at-a-time forward DCT of an ``(n, 8, 8)`` stack."""
+    blocks = np.asarray(blocks)
+    return np.stack(
+        [forward_dct_block(block, fixed_point) for block in blocks]
+    )
+
+
+def inverse_dct_scalar(
+    coefficients: np.ndarray, fixed_point: bool = True
+) -> np.ndarray:
+    """One-block-at-a-time inverse DCT of an ``(n, 8, 8)`` stack."""
+    coefficients = np.asarray(coefficients)
+    return np.stack(
+        [inverse_dct_block(block, fixed_point) for block in coefficients]
+    )
+
+
+def quantize_block(block: np.ndarray, intra: bool, qp: int) -> np.ndarray:
+    """H.263 quantization of a single 8x8 coefficient block."""
+    if not 1 <= qp <= 31:
+        raise ValueError(f"QP must be in [1, 31], got {qp}")
+    block = np.clip(np.asarray(block), COEFF_MIN, COEFF_MAX)
+    magnitude = np.abs(block.astype(np.int64))
+    dead_zone = 0 if intra else qp // 2
+    levels = np.maximum(magnitude - dead_zone, 0) // (2 * qp)
+    levels = np.clip(levels, 0, LEVEL_MAX)
+    levels = (np.sign(block) * levels).astype(np.int32)
+    if intra:
+        dc = int(np.rint(block[0, 0] / INTRA_DC_STEP))
+        levels[0, 0] = min(max(dc, 1), 254)
+    return levels
+
+
+def dequantize_block(levels: np.ndarray, intra: bool, qp: int) -> np.ndarray:
+    """H.263 reconstruction of a single quantized 8x8 block."""
+    if not 1 <= qp <= 31:
+        raise ValueError(f"QP must be in [1, 31], got {qp}")
+    levels = np.asarray(levels, dtype=np.int64)
+    magnitude = np.abs(levels)
+    reconstructed = qp * (2 * magnitude + 1)
+    if qp % 2 == 0:
+        reconstructed -= 1
+    reconstructed = np.where(magnitude == 0, 0, reconstructed)
+    reconstructed = np.sign(levels) * reconstructed
+    if intra:
+        reconstructed[0, 0] = levels[0, 0] * INTRA_DC_STEP
+    return np.clip(reconstructed, COEFF_MIN, COEFF_MAX).astype(np.int32)
+
+
+def quantize_scalar(coefficients: np.ndarray, intra, qp: int) -> np.ndarray:
+    """One-block-at-a-time quantization of an ``(n, 8, 8)`` stack.
+
+    ``intra`` is a bool or a per-block boolean sequence.
+    """
+    coefficients = np.asarray(coefficients)
+    lead = coefficients.shape[:-2]
+    flags = np.broadcast_to(np.asarray(intra, dtype=bool), lead).reshape(-1)
+    flat = coefficients.reshape(-1, 8, 8)
+    out = np.stack(
+        [
+            quantize_block(block, bool(flag), qp)
+            for block, flag in zip(flat, flags)
+        ]
+    )
+    return out.reshape(lead + (8, 8))
+
+
+def dequantize_scalar(levels: np.ndarray, intra, qp: int) -> np.ndarray:
+    """One-block-at-a-time reconstruction of an ``(n, 8, 8)`` stack."""
+    levels = np.asarray(levels)
+    lead = levels.shape[:-2]
+    flags = np.broadcast_to(np.asarray(intra, dtype=bool), lead).reshape(-1)
+    flat = levels.reshape(-1, 8, 8)
+    out = np.stack(
+        [
+            dequantize_block(block, bool(flag), qp)
+            for block, flag in zip(flat, flags)
+        ]
+    )
+    return out.reshape(lead + (8, 8))
+
+
+def block_sad(current_mb: np.ndarray, candidate_mb: np.ndarray) -> int:
+    """SAD of one 16x16 macroblock against one candidate block."""
+    return int(
+        np.abs(
+            current_mb.astype(np.int64) - candidate_mb.astype(np.int64)
+        ).sum()
+    )
+
+
+def _scalar_cost(
+    cost_function: Optional[MECostFunction],
+    sad: int,
+    dy: int,
+    dx: int,
+    row: int,
+    col: int,
+) -> float:
+    if cost_function is None:
+        return float(sad)
+    return float(
+        cost_function(
+            np.int64(sad), np.int64(dy), np.int64(dx),
+            np.int64(row), np.int64(col),
+        )
+    )
+
+
+def diamond_search_scalar(
+    current: np.ndarray,
+    reference: np.ndarray,
+    search_range: int = 15,
+    early_exit_sad: int = 1600,
+    cost_function: Optional[MECostFunction] = None,
+    active: Optional[np.ndarray] = None,
+) -> MotionField:
+    """Sequential per-macroblock diamond search.
+
+    The plain-Python transliteration of
+    :class:`repro.codec.motion.DiamondSearchMotionEstimator`: evaluate
+    the center, early-exit below the SAD threshold, iterate the large
+    diamond with the center moving *as soon as* an offset improves (the
+    within-round drift the batched walk re-plays), then refine with the
+    small diamond.  Counts are identical: every visited offset of every
+    round is one evaluation, including the final non-improving round.
+    """
+    srange = search_range
+    height, width = current.shape
+    mb_rows, mb_cols = height // MB, width // MB
+    if active is None:
+        active = np.ones((mb_rows, mb_cols), dtype=bool)
+
+    padded = np.pad(reference.astype(np.int64), srange, mode="edge")
+    current_i = current.astype(np.int64)
+    mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+    sads = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+    per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+    evaluated = 0
+
+    for row in range(mb_rows):
+        for col in range(mb_cols):
+            if not active[row, col]:
+                continue
+            cur = current_i[row * MB : (row + 1) * MB, col * MB : (col + 1) * MB]
+            oy = row * MB + srange
+            ox = col * MB + srange
+
+            def sad_at(dy: int, dx: int) -> int:
+                cand = padded[oy + dy : oy + dy + MB, ox + dx : ox + dx + MB]
+                return block_sad(cur, cand)
+
+            best_dy, best_dx = 0, 0
+            best_sad = sad_at(0, 0)
+            best_cost = _scalar_cost(cost_function, best_sad, 0, 0, row, col)
+            evals = 1
+
+            if best_sad >= early_exit_sad:
+                for _ in range(2 * srange):
+                    improved = False
+                    for off_y, off_x in _LARGE_DIAMOND:
+                        dy = int(np.clip(best_dy + off_y, -srange, srange))
+                        dx = int(np.clip(best_dx + off_x, -srange, srange))
+                        sad = sad_at(dy, dx)
+                        cost = _scalar_cost(
+                            cost_function, sad, dy, dx, row, col
+                        )
+                        evals += 1
+                        if cost < best_cost:
+                            best_cost, best_sad = cost, sad
+                            best_dy, best_dx = dy, dx
+                            improved = True
+                    if not improved:
+                        break
+
+            if best_sad >= early_exit_sad:
+                for off_y, off_x in _SMALL_DIAMOND:
+                    dy = int(np.clip(best_dy + off_y, -srange, srange))
+                    dx = int(np.clip(best_dx + off_x, -srange, srange))
+                    sad = sad_at(dy, dx)
+                    cost = _scalar_cost(cost_function, sad, dy, dx, row, col)
+                    evals += 1
+                    if cost < best_cost:
+                        best_cost, best_sad = cost, sad
+                        best_dy, best_dx = dy, dx
+
+            mvs[row, col] = (best_dy, best_dx)
+            sads[row, col] = best_sad
+            per_mb[row, col] = evals
+            evaluated += evals
+
+    return MotionField(mvs, sads, evaluated, per_mb)
+
+
+def three_step_search_scalar(
+    current: np.ndarray,
+    reference: np.ndarray,
+    search_range: int = 7,
+    cost_function: Optional[MECostFunction] = None,
+    active: Optional[np.ndarray] = None,
+) -> MotionField:
+    """Sequential per-macroblock three-step (logarithmic) search.
+
+    Mirrors :class:`repro.codec.motion.ThreeStepMotionEstimator`: each
+    round scores the 9-point (8 once seeded) neighbourhood of a fixed
+    center under strict-< updates, then the center jumps to the round's
+    best and the step halves.
+    """
+    srange = search_range
+    height, width = current.shape
+    mb_rows, mb_cols = height // MB, width // MB
+    if active is None:
+        active = np.ones((mb_rows, mb_cols), dtype=bool)
+
+    padded = np.pad(reference.astype(np.int64), srange, mode="edge")
+    current_i = current.astype(np.int64)
+    mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int64)
+    sads = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+    per_mb = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+    evaluated = 0
+
+    for row in range(mb_rows):
+        for col in range(mb_cols):
+            if not active[row, col]:
+                continue
+            cur = current_i[row * MB : (row + 1) * MB, col * MB : (col + 1) * MB]
+            oy = row * MB + srange
+            ox = col * MB + srange
+
+            center_dy, center_dx = 0, 0
+            best_cost = np.inf
+            best_sad, best_dy, best_dx = 0, 0, 0
+            evals = 0
+
+            step = 1 << max(srange.bit_length() - 1, 0)
+            seeded = False
+            while step >= 1:
+                for off_y in (-step, 0, step):
+                    for off_x in (-step, 0, step):
+                        if seeded and off_y == 0 and off_x == 0:
+                            continue
+                        dy = int(np.clip(center_dy + off_y, -srange, srange))
+                        dx = int(np.clip(center_dx + off_x, -srange, srange))
+                        cand = padded[
+                            oy + dy : oy + dy + MB, ox + dx : ox + dx + MB
+                        ]
+                        sad = block_sad(cur, cand)
+                        cost = _scalar_cost(
+                            cost_function, sad, dy, dx, row, col
+                        )
+                        evals += 1
+                        if cost < best_cost:
+                            best_cost, best_sad = cost, sad
+                            best_dy, best_dx = dy, dx
+                center_dy, center_dx = best_dy, best_dx
+                seeded = True
+                step //= 2
+
+            mvs[row, col] = (best_dy, best_dx)
+            sads[row, col] = best_sad
+            per_mb[row, col] = evals
+            evaluated += evals
+
+    return MotionField(mvs, sads, evaluated, per_mb)

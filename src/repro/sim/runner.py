@@ -711,6 +711,43 @@ def _execute_job(
         return False, payload, time.perf_counter() - start
 
 
+@lru_cache(maxsize=4)
+def _worker_cache(directory: str) -> ResultCache:
+    """Per-process cache handle for chunk workers.
+
+    Each worker opens the cache directory once and reuses the handle
+    across every chunk it executes, instead of the parent serializing
+    all cache writes through its own process.
+    """
+    return ResultCache(directory)
+
+
+def _execute_chunk(
+    specs: Sequence[JobSpec],
+    trace_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+) -> list[tuple[bool, object, float]]:
+    """Run a batch of clean-path jobs in one worker dispatch.
+
+    The coarse-grained sibling of :func:`_execute_job`, used by
+    :func:`run_grid` when no retries, timeouts or faults are in play:
+    one pool round-trip carries a whole chunk of specs (pickle
+    deduplicates the shared config objects across them) and the worker
+    writes its own successes into the result cache, so neither the
+    per-job dispatch latency nor the cache writes serialize on the
+    parent.  Outcomes are per spec, order-aligned, never raising —
+    identical to what per-job dispatch would have produced.
+    """
+    cache = _worker_cache(cache_dir) if cache_dir is not None else None
+    outcomes = []
+    for spec in specs:
+        ok, payload, elapsed = _execute_job(spec, trace_dir, 1, True)
+        if ok and cache is not None:
+            cache.put(spec.content_hash(), payload)
+        outcomes.append((ok, payload, elapsed))
+    return outcomes
+
+
 def _outcome(
     spec: JobSpec,
     ok: bool,
@@ -846,6 +883,14 @@ def run_grid(
         One :class:`JobResult` or :class:`JobFailure` per input spec,
         order-aligned with ``jobs``.  Outcomes are deterministic: the
         worker count changes wall time, never values.
+
+    Dispatch granularity: when no retries, timeouts or faults are
+    configured (the common sweep), uncached jobs are shipped to the
+    pool in coarse chunks — one round-trip per chunk instead of per
+    job, with workers writing their own cache entries — which removes
+    most of the fan-out overhead on small grids.  Retry/timeout/fault
+    runs keep per-job futures, since those features need to observe
+    individual cells in flight.
     """
     specs = list(jobs)
     if faults is not None and faults:
@@ -888,7 +933,13 @@ def run_grid(
             _attempt_labels(specs[index], attempts[index])
         )
 
-    def finish(index: int, ok: bool, payload: object, elapsed: float) -> None:
+    def finish(
+        index: int,
+        ok: bool,
+        payload: object,
+        elapsed: float,
+        cache_written: bool = False,
+    ) -> None:
         quarantined = (
             not ok
             and retry.max_attempts > 1
@@ -903,7 +954,7 @@ def run_grid(
             injected=labels[index],
             quarantined=quarantined,
         )
-        if cache is not None and isinstance(outcome, JobResult):
+        if cache is not None and isinstance(outcome, JobResult) and not cache_written:
             cache.put(specs[index].content_hash(), outcome.result)
         outcomes[index] = outcome
 
@@ -948,6 +999,63 @@ def run_grid(
     except (NotImplementedError, OSError, PermissionError):
         # No usable process pool on this platform: same results, serially.
         return run_serial()
+
+    def run_chunked() -> list[Union[JobResult, JobFailure]]:
+        # Clean-path fan-out: no retries, timeouts or faults anywhere,
+        # so nothing needs per-job futures.  Ship the grid in coarse
+        # chunks (a few per worker keeps the pool load-balanced) and
+        # let workers write their own cache entries; the pickle memo
+        # shares the config objects across a chunk's specs, so the
+        # per-job submit payload shrinks along with the dispatch count.
+        chunksize = max(1, -(-len(pending) // (workers * 4)))
+        chunks = [
+            pending[i : i + chunksize]
+            for i in range(0, len(pending), chunksize)
+        ]
+        cache_dir = str(cache.directory) if cache is not None else None
+        try:
+            chunk_futures = [
+                executor.submit(
+                    _execute_chunk,
+                    [specs[i] for i in chunk],
+                    trace_dir_arg,
+                    cache_dir,
+                )
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, chunk_futures):
+                for index in chunk:
+                    note_attempt(index)
+                try:
+                    chunk_outcomes = future.result()
+                except concurrent.futures.process.BrokenProcessPool as error:
+                    # The pool died under this chunk; with no retry
+                    # budget on the clean path the chunk's cells become
+                    # failures (the error-capture contract), and later
+                    # chunks report the same way as their futures fail.
+                    for index in chunk:
+                        finish(
+                            index,
+                            False,
+                            ("BrokenProcessPool", str(error), ""),
+                            0.0,
+                        )
+                    continue
+                for index, (ok, payload, elapsed) in zip(
+                    chunk, chunk_outcomes
+                ):
+                    finish(index, ok, payload, elapsed, cache_written=ok)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return collect()
+
+    clean_path = (
+        retry.max_attempts == 1
+        and timeout is None
+        and all(not specs[index].faults for index in pending)
+    )
+    if clean_path:
+        return run_chunked()
 
     futures: dict[int, concurrent.futures.Future] = {}
 
