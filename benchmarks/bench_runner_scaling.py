@@ -147,6 +147,13 @@ def measure(
 
     serial_s = timings[str(worker_counts[0])]
     cpu_count = os.cpu_count() or 1
+    ceilings = {
+        workers: min(int(workers), cpu_count) for workers in timings
+    }
+    raw_speedups = {
+        workers: round(serial_s / elapsed, 3) if elapsed else None
+        for workers, elapsed in timings.items()
+    }
     return {
         "benchmark": "runner_scaling",
         "grid": {
@@ -164,17 +171,20 @@ def measure(
         },
         "wall_time_s": timings,
         "speedup_vs_serial": {
-            workers: round(serial_s / elapsed, 3) if elapsed else None
-            for workers, elapsed in timings.items()
+            workers: (
+                min(raw, float(ceilings[workers]))
+                if raw is not None
+                else None
+            )
+            for workers, raw in raw_speedups.items()
         },
-        "parallel_ceiling": {
-            workers: min(int(workers), cpu_count)
-            for workers in timings
-        },
+        "speedup_vs_serial_raw": raw_speedups,
+        "parallel_ceiling": ceilings,
         "note": (
-            "speedup_vs_serial is bounded by min(workers, cpu_count); "
-            "on a single-core host the honest ceiling is 1.0 and any "
-            "excess in past records was timer noise"
+            "speedup_vs_serial is clamped at min(workers, cpu_count) — "
+            "a measured ratio above that ceiling is timer noise, not "
+            "parallelism, so only the clamped value is gate-worthy; "
+            "speedup_vs_serial_raw preserves the unclamped measurement"
         ),
         "fan_out": fan_out_metrics(jobs, workers=max(
             int(w) for w in timings
@@ -232,6 +242,18 @@ def test_chunked_batch_pickles_smaller_than_solo_specs():
     sizes = payload_sizes(jobs)
     assert sizes["chunked_pickle_bytes_per_job"] < sizes["jobspec_pickle_bytes"]
     assert sizes["chunk_dedup_ratio"] > 1.0
+
+
+def test_speedup_is_clamped_at_the_parallel_ceiling():
+    """The gated ratio never exceeds min(workers, cpu_count)."""
+    record = measure(
+        n_frames=2, worker_counts=(1, 2), schemes=("NO",), seeds=(1,)
+    )
+    for workers, speedup in record["speedup_vs_serial"].items():
+        assert speedup <= record["parallel_ceiling"][workers]
+    assert set(record["speedup_vs_serial_raw"]) == set(
+        record["speedup_vs_serial"]
+    )
 
 
 def test_cached_pass_returns_identical_results(tmp_path):

@@ -42,12 +42,28 @@ def check(
     measured: dict,
     field: str,
     tolerance: float = DEFAULT_TOLERANCE,
+    ceiling_field: str | None = None,
 ) -> tuple[bool, str]:
-    """Compare one ratio field; returns (passed, human-readable line)."""
+    """Compare one ratio field; returns (passed, human-readable line).
+
+    ``ceiling_field`` names a field in the *measured* record holding
+    this host's physical ceiling for the ratio (e.g. a parallel speedup
+    is bounded by the core count).  A baseline above the measured
+    host's ceiling is unreachable there — comparing would fail every
+    run on a smaller machine — so the check is skipped, not failed.
+    """
     base = float(lookup(baseline, field))
     got = float(lookup(measured, field))
     if base <= 0:
         raise ValueError(f"baseline {field} must be positive, got {base}")
+    if ceiling_field is not None:
+        ceiling = float(lookup(measured, ceiling_field))
+        if base > ceiling:
+            return True, (
+                f"SKIP: {field} baseline {base:.3g} exceeds this host's "
+                f"ceiling {ceiling:.3g} ({ceiling_field}) — "
+                "not comparable on this hardware"
+            )
     floor = base * (1.0 - tolerance)
     passed = got >= floor
     verdict = "OK" if passed else "REGRESSION"
@@ -79,6 +95,15 @@ def main(argv=None) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional drop below the baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--ceiling-field",
+        default=None,
+        help=(
+            "dotted path in the MEASURED record holding this host's "
+            "physical ceiling for the ratio; a baseline above it is "
+            "skipped (unreachable here), not failed"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         print(f"tolerance must be in [0, 1), got {args.tolerance}")
@@ -88,7 +113,10 @@ def main(argv=None) -> int:
             baseline = json.load(handle)
         with open(args.measured, encoding="utf-8") as handle:
             measured = json.load(handle)
-        passed, line = check(baseline, measured, args.field, args.tolerance)
+        passed, line = check(
+            baseline, measured, args.field, args.tolerance,
+            ceiling_field=args.ceiling_field,
+        )
     except (OSError, ValueError, KeyError) as error:
         print(f"perf gate could not compare: {error!r}")
         return 2

@@ -128,6 +128,7 @@ from repro.resilience.base import ResilienceStrategy
 from repro.resilience.pbpair_strategy import PBPAIRStrategy
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
 from repro.sim.experiment import (
+    CalibrationResult,
     ExperimentResult,
     ExperimentSpec,
     ReplicationSummary,
@@ -139,13 +140,18 @@ from repro.sim.experiment import replicate as _replicate
 from repro.sim.experiment import run_experiment as _run_experiment
 from repro.sim.experiment import sweep as _sweep
 from repro.sim.pipeline import (
+    EncodedStream,
     FrameRecord,
     SimulationConfig,
     SimulationResult,
+    StreamFrame,
+    encode_phase,
+    transmit_phase,
 )
 from repro.sim.pipeline import simulate as _simulate
 from repro.sim.report import format_series, format_table
 from repro.sim.runner import (
+    EncodedStreamCache,
     GridManifest,
     JobFailure,
     JobResult,
@@ -154,6 +160,8 @@ from repro.sim.runner import (
     ResultCache,
     RetryPolicy,
     build_grid,
+    encode_content_hash,
+    encode_stream_key,
     grid_manifest,
     load_manifest,
     run_grid,
@@ -362,6 +370,14 @@ __all__ = [
     "make_sequence",
     "match_intra_th_to_size",
     "total_encoded_bytes",
+    # phase-split pipeline (encode once, replay many channels)
+    "encode_phase",
+    "transmit_phase",
+    "EncodedStream",
+    "StreamFrame",
+    "CalibrationResult",
+    "encode_content_hash",
+    "encode_stream_key",
     # codec entry points (keyword-only options)
     "encode_sequence",
     "decode_stream",
@@ -439,6 +455,7 @@ __all__ = [
     "JobResult",
     "JobFailure",
     "ResultCache",
+    "EncodedStreamCache",
     "RetryPolicy",
     "build_grid",
     "run_grid",

@@ -44,6 +44,7 @@ from repro.sim.pipeline import SimulationConfig, simulate
 from repro.sim.report import format_table
 from repro.sim.runner import (
     DEFAULT_CACHE_DIR,
+    EncodedStreamCache,
     JobFailure,
     JobResult,
     JobSpec,
@@ -99,6 +100,13 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-stream-cache",
+        action="store_true",
+        help="disable encoded-stream sharing: encode every grid cell "
+        "from scratch instead of replaying one stream per operating "
+        "point (results are identical either way)",
     )
     parser.add_argument(
         "--retries",
@@ -185,23 +193,33 @@ def _print_trace_report(trace_file: Optional[Path], args) -> None:
 
 
 def _runner_setup(args: argparse.Namespace):
-    """(max_workers, cache, trace_dir) from the runner options."""
+    """(max_workers, cache, trace_dir, stream_cache) from runner options."""
     if args.jobs < 0:
         raise SystemExit("--jobs must be >= 0")
     max_workers = None if args.jobs == 0 else args.jobs
     trace_dir = _trace_dir(args)
     if args.no_cache:
-        return max_workers, None, trace_dir
-    try:
-        cache = ResultCache(args.cache_dir)
-    except (FileExistsError, NotADirectoryError):
-        raise SystemExit(
-            f"--cache-dir {args.cache_dir!r} exists and is not a directory"
+        cache = None
+    else:
+        try:
+            cache = ResultCache(args.cache_dir)
+        except (FileExistsError, NotADirectoryError):
+            raise SystemExit(
+                f"--cache-dir {args.cache_dir!r} exists and is not a directory"
+            )
+    if args.no_stream_cache:
+        stream_cache = None
+    else:
+        # Streams live beside the result cache so one --cache-dir wipes
+        # both; memory-only when --no-cache (still shares within a run).
+        stream_cache = EncodedStreamCache(
+            cache.directory / "streams" if cache is not None else None
         )
-    return max_workers, cache, trace_dir
+    return max_workers, cache, trace_dir, stream_cache
 
 
-def _grid_results(args, jobs, max_workers, cache, trace_dir=None):
+def _grid_results(args, jobs, max_workers, cache, trace_dir=None,
+                  stream_cache=None):
     """Run a grid and unwrap it.
 
     Without ``--manifest`` any failed cell aborts the command with exit
@@ -224,6 +242,8 @@ def _grid_results(args, jobs, max_workers, cache, trace_dir=None):
         retry=retry,
         faults=_fault_plan(args),
         manifest_path=args.manifest,
+        stream_cache=stream_cache,
+        share_streams=not args.no_stream_cache,
     )
     failures = [o for o in outcomes if isinstance(o, JobFailure)]
     for failure in failures:
@@ -314,13 +334,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache, trace_dir = _runner_setup(args)
+    max_workers, cache, trace_dir, stream_cache = _runner_setup(args)
     print("Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
           file=sys.stderr)
     target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
     intra_th = match_intra_th_to_size(
         video, target, plr=args.plr, config=config, max_iterations=8,
-        cache=cache,
+        cache=cache, stream_cache=stream_cache,
+    )
+    print(
+        f"calibration: {intra_th.probes} probes, "
+        f"{intra_th.unique_encodes} encodes "
+        f"({intra_th.saved_encodes} served from cache)",
+        file=sys.stderr,
     )
     schemes = ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24")
     jobs = [
@@ -337,7 +363,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     rows = []
     for spec, result in zip(
-        schemes, _grid_results(args, jobs, max_workers, cache, trace_dir)
+        schemes,
+        _grid_results(args, jobs, max_workers, cache, trace_dir, stream_cache),
     ):
         if result is None:
             continue
@@ -369,7 +396,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache, trace_dir = _runner_setup(args)
+    max_workers, cache, trace_dir, stream_cache = _runner_setup(args)
     thresholds = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
     jobs = [
         JobSpec(
@@ -385,7 +412,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     rows = []
     for th, result in zip(
-        thresholds, _grid_results(args, jobs, max_workers, cache, trace_dir)
+        thresholds,
+        _grid_results(args, jobs, max_workers, cache, trace_dir, stream_cache),
     ):
         if result is None:
             continue

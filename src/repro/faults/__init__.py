@@ -26,11 +26,13 @@ from repro.faults.plan import (
     KIND_STAGES,
     STAGE_CHANNEL,
     STAGE_DECODER_INPUT,
+    STAGE_ENCODE,
     STAGE_RUNNER,
     WORKER_FAULT_KINDS,
     FaultEvent,
     FaultPlan,
     FaultSpec,
+    encode_subplan,
     load_fault_plan,
     parse_fault_plan,
     write_fault_plan,
@@ -44,11 +46,13 @@ __all__ = [
     "InjectedFault",
     "InjectedWorkerCrash",
     "inject_faults",
+    "encode_subplan",
     "parse_fault_plan",
     "load_fault_plan",
     "write_fault_plan",
     "KIND_STAGES",
     "WORKER_FAULT_KINDS",
+    "STAGE_ENCODE",
     "STAGE_CHANNEL",
     "STAGE_DECODER_INPUT",
     "STAGE_RUNNER",

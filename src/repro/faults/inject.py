@@ -21,6 +21,7 @@ from typing import Iterable, Optional, Sequence
 from repro.faults.plan import (
     STAGE_CHANNEL,
     STAGE_DECODER_INPUT,
+    STAGE_ENCODE,
     STAGE_RUNNER,
     WORKER_FAULT_KINDS,
     FaultEvent,
@@ -70,6 +71,33 @@ class FaultInjector:
         if tracer.enabled:
             tracer.event("fault", **event.to_json())
         return event
+
+    # ------------------------------------------------------------------
+    # Encode stage: sender-side bitstream corruption
+    # ------------------------------------------------------------------
+
+    def apply_to_payload(self, payload: bytes, frame_index: int) -> bytes:
+        """Apply encode-stage faults to one frame's encoded bitstream.
+
+        Models corruption in the sender's frame buffer *after* the
+        encoder reconstructed the frame (the prediction loop stays
+        clean) but *before* packetization — every fragment cut from the
+        payload carries the rot.
+        """
+        for index, spec in self.plan.for_stage(STAGE_ENCODE):
+            if not spec.applies_to_frame(frame_index) or not payload:
+                continue
+            rng = self.plan.rng(spec.stage, index, frame_index)
+            if rng.random() >= spec.probability:
+                continue
+            payload, flipped = _flip_bytes(rng, payload, spec.amount)
+            self._record(
+                spec,
+                target=f"payload:{frame_index}",
+                frame_index=frame_index,
+                flipped_bytes=flipped,
+            )
+        return payload
 
     # ------------------------------------------------------------------
     # Channel stage: packet-stream surgery

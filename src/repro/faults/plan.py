@@ -9,6 +9,12 @@ interprets it.
 
 Stages mirror the pipeline's own vocabulary:
 
+* ``encode`` — applied to the encoder's output bitstream before
+  packetization: bytes rotting in the sender's frame buffer.  Encode
+  faults change the *stream itself*, which is why plans carrying them
+  opt out of encoded-stream sharing in the grid runner (the fault
+  sub-plan is part of the encode cache key, see
+  :func:`encode_subplan`).
 * ``channel`` — applied to the *delivered* packet stream, after the
   loss model: the failures a wireless receiver hands the depacketizer
   (truncated, reordered, duplicated, bit-rotted, or silently dropped
@@ -38,12 +44,15 @@ from typing import Any, Iterable, Mapping, Optional, Union
 import numpy as np
 
 #: Stage names (the pipeline points where faults can be injected).
+STAGE_ENCODE = "encode"
 STAGE_CHANNEL = "channel"
 STAGE_DECODER_INPUT = "decoder_input"
 STAGE_RUNNER = "runner"
 
 #: Every known fault kind, mapped to the stage it acts on.
 KIND_STAGES: Mapping[str, str] = {
+    # encode stage: sender-side bitstream corruption pre-packetization
+    "encode_byteflip": STAGE_ENCODE,
     # channel stage: packet-stream surgery after the loss model
     "truncate": STAGE_CHANNEL,
     "byteflip": STAGE_CHANNEL,
@@ -202,6 +211,23 @@ class FaultPlan:
             FaultSpec.from_json(entry) for entry in record.get("faults", ())
         )
         return cls(faults=faults, seed=int(record.get("seed", 0)))
+
+
+def encode_subplan(plan: Optional["FaultPlan"]) -> Optional["FaultPlan"]:
+    """The encode-stage slice of a plan, or None when it has none.
+
+    The grid runner's encoded-stream sharing is keyed on this: a plan
+    whose faults all act on the channel, the decoder input or the
+    runner never changes the encoder's output, so its cells may share
+    one encoded stream; encode-stage faults corrupt the stream itself,
+    so they travel into the encode cache key and disable sharing.
+    """
+    if plan is None or not plan:
+        return None
+    specs = tuple(spec for spec in plan.faults if spec.stage == STAGE_ENCODE)
+    if not specs:
+        return None
+    return FaultPlan(faults=specs, seed=plan.seed)
 
 
 @dataclass(frozen=True)

@@ -9,13 +9,18 @@ caching; :mod:`repro.sim.report` prints figure-shaped tables.
 """
 
 from repro.sim.pipeline import (
+    EncodedStream,
     SimulationConfig,
     SimulationResult,
     FrameRecord,
+    StreamFrame,
     simulate,
+    encode_phase,
+    transmit_phase,
     encode_only,
 )
 from repro.sim.experiment import (
+    CalibrationResult,
     ExperimentSpec,
     ExperimentResult,
     ReplicationSummary,
@@ -25,11 +30,14 @@ from repro.sim.experiment import (
     match_intra_th_to_size,
 )
 from repro.sim.runner import (
+    EncodedStreamCache,
     JobFailure,
     JobResult,
     JobSpec,
     ResultCache,
     build_grid,
+    encode_content_hash,
+    encode_stream_key,
     run_grid,
     run_job,
     run_simulations,
@@ -42,7 +50,10 @@ __all__ = [
     "JobResult",
     "JobFailure",
     "ResultCache",
+    "EncodedStreamCache",
     "build_grid",
+    "encode_content_hash",
+    "encode_stream_key",
     "run_grid",
     "run_job",
     "run_simulations",
@@ -50,8 +61,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "FrameRecord",
+    "EncodedStream",
+    "StreamFrame",
     "simulate",
+    "encode_phase",
+    "transmit_phase",
     "encode_only",
+    "CalibrationResult",
     "ExperimentSpec",
     "ExperimentResult",
     "run_experiment",

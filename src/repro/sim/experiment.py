@@ -23,10 +23,13 @@ from repro.sim.pipeline import (
     SimulationConfig,
     SimulationResult,
     encode_only,
+    encode_phase,
     simulate,
 )
 from repro.sim.runner import (
+    EncodedStreamCache,
     ResultCache,
+    encode_stream_key,
     run_simulations,
     sequence_digest,
     stable_hash,
@@ -113,6 +116,39 @@ def total_encoded_bytes(
     return sum(frame.size_bytes for frame in encoded)
 
 
+class CalibrationResult(float):
+    """The matched ``Intra_Th``, annotated with calibration-cost stats.
+
+    A plain ``float`` to every existing consumer (arithmetic,
+    ``"{:.3f}"`` formatting, equality with the bisection midpoints all
+    behave normally) — plus an honest account of the encode work the
+    caches saved: ``probes`` bisection probes asked for a size, only
+    ``unique_encodes`` of them actually ran the encoder.
+    """
+
+    probes: int
+    unique_encodes: int
+    cache_hits: int
+
+    def __new__(
+        cls,
+        value: float,
+        probes: int = 0,
+        unique_encodes: int = 0,
+        cache_hits: int = 0,
+    ) -> "CalibrationResult":
+        self = super().__new__(cls, value)
+        self.probes = probes
+        self.unique_encodes = unique_encodes
+        self.cache_hits = cache_hits
+        return self
+
+    @property
+    def saved_encodes(self) -> int:
+        """Probes that cost a lookup instead of an encoder run."""
+        return self.probes - self.unique_encodes
+
+
 def match_intra_th_to_size(
     sequence: VideoSequence,
     target_bytes: int,
@@ -122,19 +158,27 @@ def match_intra_th_to_size(
     tolerance: float = 0.03,
     max_iterations: int = 8,
     cache: Optional[ResultCache] = None,
-) -> float:
+    stream_cache: Optional[EncodedStreamCache] = None,
+) -> CalibrationResult:
     """Find the ``Intra_Th`` whose encoded size matches ``target_bytes``.
 
     Bisection over [0, 1]; the encoded size grows with the threshold
     (more macroblocks fall below it and are intra-coded).  Stops when
     within ``tolerance`` (relative) of the target or after
-    ``max_iterations`` encodes, returning the best threshold seen.
+    ``max_iterations`` encodes, returning the best threshold seen as a
+    :class:`CalibrationResult` — a float that also reports how many
+    probes ran and how many encodes the caches saved.
 
     The bisection itself is inherently sequential (each probe depends
     on the previous outcome), but each probe's encoded size is pure in
     its parameters: with a ``cache``, probes are memoized on disk under
     a content hash of (sequence pixels, threshold, PBPAIR knobs, codec
-    config), so re-calibrating the same clip is free.
+    config), so re-calibrating the same clip is free.  With a
+    ``stream_cache``, each probe's full :class:`EncodedStream` is kept
+    under the *grid runner's* encode key — the stream encoded while
+    probing the winning threshold is the very stream the subsequent
+    PBPAIR grid cells replay, so calibration's encode work is not
+    thrown away.
 
     The paper does the same calibration to compare schemes at equal
     compression ratio.  Calibrate on the clip you will measure: a
@@ -151,9 +195,33 @@ def match_intra_th_to_size(
             "needs at least one encode to have a threshold to return"
         )
     kwargs = dict(pbpair_kwargs or {})
-    digest = sequence_digest(sequence) if cache is not None else None
+    digest = (
+        sequence_digest(sequence)
+        if cache is not None or stream_cache is not None
+        else None
+    )
+    stats = {"probes": 0, "encodes": 0, "hits": 0}
+
+    def encode_probe(th: float) -> int:
+        """The probe's encoder run — through the stream cache if given."""
+        strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=th, plr=plr, **kwargs))
+        if stream_cache is None:
+            stats["encodes"] += 1
+            return total_encoded_bytes(sequence, strategy, config)
+        key = encode_stream_key(
+            sequence=digest,
+            scheme="PBPAIR",
+            strategy_kwargs={"plr": plr, "intra_th": th, **kwargs},
+            config=config or SimulationConfig(),
+        )
+        stream, reused = stream_cache.get_or_encode(
+            key, lambda: encode_phase(sequence, strategy, config=config)
+        )
+        stats["hits" if reused else "encodes"] += 1
+        return stream.total_bytes
 
     def probe_size(th: float) -> int:
+        stats["probes"] += 1
         if cache is not None:
             key = stable_hash(
                 {
@@ -167,9 +235,9 @@ def match_intra_th_to_size(
             )
             hit = cache.get(key)
             if hit is not None:
+                stats["hits"] += 1
                 return int(hit)
-        strategy = PBPAIRStrategy(PBPAIRConfig(intra_th=th, plr=plr, **kwargs))
-        size = total_encoded_bytes(sequence, strategy, config)
+        size = encode_probe(th)
         if cache is not None:
             cache.put(key, size)
         return size
@@ -188,7 +256,12 @@ def match_intra_th_to_size(
             lo = mid
         else:
             hi = mid
-    return best_th
+    return CalibrationResult(
+        best_th,
+        probes=stats["probes"],
+        unique_encodes=stats["encodes"],
+        cache_hits=stats["hits"],
+    )
 
 
 @dataclass(frozen=True)

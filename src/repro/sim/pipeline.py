@@ -5,11 +5,28 @@
 -> quality metrics, collecting per-frame records and whole-run
 aggregates (energy, file size, PSNR, bad pixels) — everything the
 paper's evaluation section plots.
+
+The pipeline is split into two first-class phases:
+
+* :func:`encode_phase` — source -> encoder -> packetizer.  Fully
+  deterministic given (sequence, strategy, codec config, encode-stage
+  faults); its output, an :class:`EncodedStream`, is what a sender
+  would hand to the network and is safe to cache and replay against
+  many channel realizations.
+* :func:`transmit_phase` — channel -> depacketizer -> decoder ->
+  concealment -> metrics.  Consumes an :class:`EncodedStream` plus the
+  source sequence (for PSNR/bad-pixel ground truth) and everything
+  channel-side: loss model, bit errors, channel/decoder-stage faults.
+
+``simulate`` composes the two under one trace root, so existing callers
+see identical results and identical span structure; grid runners call
+the phases separately to encode once per operating point and fan out
+only the transmit work (see :mod:`repro.sim.runner`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 import numpy as np
@@ -33,7 +50,7 @@ from repro.metrics.psnr import average_psnr, psnr
 from repro.network.biterror import BitErrorChannel
 from repro.network.channel import Channel, ChannelLog
 from repro.network.loss import LossModel, NoLoss
-from repro.network.packet import DEFAULT_MTU, Depacketizer, Packetizer
+from repro.network.packet import DEFAULT_MTU, Depacketizer, Packet, Packetizer
 from repro.obs import get_tracer
 from repro.resilience.base import ResilienceStrategy
 from repro.video.frame import VideoSequence
@@ -72,6 +89,55 @@ class FrameRecord:
     psnr_decoder: float  # after the lossy channel and concealment
     bad_pixels: int
     damaged_fragments: int = 0  # fragments the decoder concealed
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One frame of an :class:`EncodedStream`: packets + sender stats.
+
+    This is the lean, transmit-facing slice of
+    :class:`~repro.codec.types.EncodedFrame`: the packetized bitstream
+    and the per-frame numbers the final report needs.  Encoder-side
+    reconstructions, macroblock decisions and bit offsets stay behind —
+    they are observability, not payload, and dropping them keeps the
+    stream cheap to pickle into caches and across process pools.
+    """
+
+    frame_index: int
+    frame_type: FrameType
+    size_bytes: int
+    bits: int
+    intra_mbs: int
+    me_skipped_mbs: int
+    psnr_reconstructed: float
+    packets: tuple[Packet, ...]
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """The sender's half of a run: everything :func:`encode_phase` made.
+
+    Deterministic given (sequence, strategy, codec config, encode-stage
+    faults) — which is exactly the contract that lets
+    :class:`repro.sim.runner.EncodedStreamCache` share one stream across
+    every grid cell that differs only in channel conditions.
+    """
+
+    sequence_name: str
+    strategy_name: str
+    width: int
+    height: int
+    frames: tuple[StreamFrame, ...]
+    counters: OperationCounters
+    fault_events: tuple[FaultEvent, ...] = ()
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.frames)
 
 
 @dataclass(frozen=True)
@@ -186,6 +252,284 @@ def encode_only(
     return encoded, encoder.counters
 
 
+def _as_injector(
+    faults: Optional[Union[FaultPlan, FaultInjector]],
+) -> Optional[FaultInjector]:
+    if isinstance(faults, FaultInjector):
+        return faults
+    if faults is not None and faults:
+        return FaultInjector(faults)
+    return None
+
+
+def _check_dimensions(sequence: VideoSequence, config: SimulationConfig) -> None:
+    codec = config.codec
+    if sequence.width != codec.width or sequence.height != codec.height:
+        raise ValueError(
+            f"sequence {sequence.width}x{sequence.height} does not match "
+            f"codec {codec.width}x{codec.height}"
+        )
+
+
+def _encode_stream(
+    sequence: VideoSequence,
+    strategy: ResilienceStrategy,
+    encoder: Encoder,
+    packetizer: Packetizer,
+    rate_controller: Optional[RateController],
+    injector: Optional[FaultInjector],
+) -> EncodedStream:
+    """The sender loop: encode and packetize every frame.
+
+    Opens per-frame ``encode_frame``/``packetize`` spans but no root
+    span, and takes its (already constructed) pipeline objects from the
+    caller — callers own the trace root and the setup cost, so the
+    phases compose under one ``simulate`` span whether they run
+    together or apart, with stage spans accounting for the root's
+    entire duration.
+    """
+    tracer = get_tracer()
+    events_before = len(injector.events) if injector is not None else 0
+
+    frames: list[StreamFrame] = []
+    for frame in sequence:
+        if rate_controller is not None:
+            encoder.quantizer = rate_controller.quantizer
+        with tracer.span("encode_frame") as encode_span:
+            encoded = encoder.encode_frame(frame)
+            encode_span.add(
+                bits=encoded.stats.bits,
+                intra_mbs=encoded.stats.intra_mbs,
+                me_skipped_mbs=encoded.stats.me_skipped_mbs,
+            )
+        if rate_controller is not None:
+            rate_controller.observe(encoded.stats.bits)
+        if injector is not None:
+            payload = injector.apply_to_payload(encoded.payload, frame.index)
+            if payload is not encoded.payload:
+                encoded = replace(encoded, payload=payload)
+        with tracer.span("packetize") as packet_span:
+            packets = packetizer.packetize(encoded)
+            packet_span.add(packets=len(packets))
+            frames.append(
+                StreamFrame(
+                    frame_index=frame.index,
+                    frame_type=encoded.frame_type,
+                    size_bytes=encoded.size_bytes,
+                    bits=encoded.stats.bits,
+                    intra_mbs=encoded.stats.intra_mbs,
+                    me_skipped_mbs=encoded.stats.me_skipped_mbs,
+                    psnr_reconstructed=encoded.stats.psnr_reconstructed,
+                    packets=tuple(packets),
+                )
+            )
+
+    return EncodedStream(
+        sequence_name=sequence.name,
+        strategy_name=strategy.name,
+        width=sequence.width,
+        height=sequence.height,
+        frames=tuple(frames),
+        counters=encoder.counters,
+        fault_events=(
+            tuple(injector.events[events_before:])
+            if injector is not None
+            else ()
+        ),
+    )
+
+
+def _transmit_stream(
+    stream: EncodedStream,
+    sequence: VideoSequence,
+    config: SimulationConfig,
+    decoder: Decoder,
+    depacketizer: Depacketizer,
+    channel: Channel,
+    energy_model: EnergyModel,
+    concealment: ConcealmentStrategy,
+    bit_errors: Optional[BitErrorChannel],
+    injector: Optional[FaultInjector],
+) -> SimulationResult:
+    """The receiver loop: channel, decode, conceal, measure, report.
+
+    Like :func:`_encode_stream` this opens only stage spans and takes
+    its constructed pipeline objects from the caller; the ``report``
+    span wrapping result construction stays a direct child of whatever
+    root the caller holds, keeping stage coverage honest.
+    """
+    tracer = get_tracer()
+    events_before = len(injector.events) if injector is not None else 0
+
+    records: list[FrameRecord] = []
+    decoder_reference: Optional[np.ndarray] = None
+    decoder_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    for frame, sent in zip(sequence, stream.frames):
+        with tracer.span("channel"):
+            delivered = channel.transmit(list(sent.packets))
+            if bit_errors is not None:
+                delivered = bit_errors.corrupt(delivered)
+            if injector is not None:
+                delivered = injector.apply_to_packets(delivered, frame.index)
+        with tracer.span("decode_frame"):
+            fragments = depacketizer.group_by_frame(
+                delivered, frame.index + 1
+            )[frame.index]
+            if injector is not None:
+                fragments = injector.apply_to_fragments(
+                    fragments, frame.index
+                )
+            result = decoder.decode_frame(
+                fragments,
+                decoder_reference,
+                expected_index=frame.index,
+                reference_chroma=decoder_chroma,
+            )
+        with tracer.span("conceal"):
+            repaired = concealment.conceal(
+                result.frame,
+                result.received,
+                decoder_reference,
+                mvs_pixels=result.mvs_pixels,
+                modes=result.modes,
+            )
+        decoder_reference = repaired
+        # Lost chroma macroblocks already hold the reference copy (the
+        # paper's copy concealment); spatial repair is luma-only.
+        decoder_chroma = result.chroma
+
+        with tracer.span("metrics"):
+            records.append(
+                FrameRecord(
+                    frame_index=frame.index,
+                    frame_type=sent.frame_type,
+                    size_bytes=sent.size_bytes,
+                    intra_mbs=sent.intra_mbs,
+                    me_skipped_mbs=sent.me_skipped_mbs,
+                    packets_sent=len(sent.packets),
+                    # Duplicate-packet faults can deliver more
+                    # packets than were sent; loss never goes
+                    # negative.
+                    packets_lost=max(len(sent.packets) - len(delivered), 0),
+                    psnr_encoder=sent.psnr_reconstructed,
+                    psnr_decoder=psnr(frame.pixels, repaired),
+                    bad_pixels=bad_pixel_count(
+                        frame.pixels, repaired, config.bad_pixel_threshold
+                    ),
+                    damaged_fragments=result.damaged_fragments,
+                )
+            )
+
+    with tracer.span("report"):
+        return SimulationResult(
+            sequence_name=stream.sequence_name,
+            strategy_name=stream.strategy_name,
+            frames=tuple(records),
+            counters=stream.counters,
+            energy=energy_model.breakdown(stream.counters),
+            channel_log=channel.log,
+            size_stats=frame_size_stats([r.size_bytes for r in records]),
+            decoder_counters=decoder.counters,
+            decoder_energy=energy_model.breakdown(decoder.counters),
+            fault_events=tuple(stream.fault_events)
+            + (
+                tuple(injector.events[events_before:])
+                if injector is not None
+                else ()
+            ),
+        )
+
+
+def encode_phase(
+    sequence: VideoSequence,
+    strategy: ResilienceStrategy,
+    config: Optional[SimulationConfig] = None,
+    rate_controller: Optional[RateController] = None,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+) -> EncodedStream:
+    """Phase 1 of Figure 1: source -> encoder -> packetizer.
+
+    Deterministic given its arguments: the same sequence, strategy,
+    codec config and encode-stage fault sub-plan always produce a
+    byte-identical :class:`EncodedStream`, in any process.  That
+    contract is what the grid runner's stream cache keys on.
+
+    Args:
+        sequence: source video.
+        strategy: error-resilience scheme for the encoder.
+        config: codec/network/energy parameters.
+        rate_controller: optional frame-level quantizer control.
+        faults: optional fault plan; only its ``encode``-stage specs
+            act here (bytes flipped in the sender's frame buffer before
+            packetization), and their events ride the returned stream's
+            ``fault_events``.
+    """
+    config = config or SimulationConfig()
+    _check_dimensions(sequence, config)
+    return _encode_stream(
+        sequence,
+        strategy,
+        Encoder(config.codec, strategy),
+        Packetizer(config.codec, mtu=config.mtu),
+        rate_controller,
+        _as_injector(faults),
+    )
+
+
+def transmit_phase(
+    stream: EncodedStream,
+    sequence: VideoSequence,
+    loss_model: Optional[LossModel] = None,
+    config: Optional[SimulationConfig] = None,
+    concealment: Optional[ConcealmentStrategy] = None,
+    bit_errors: Optional[BitErrorChannel] = None,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+) -> SimulationResult:
+    """Phase 2 of Figure 1: channel -> depacketize -> decode -> metrics.
+
+    Replays one channel realization against a prepared
+    :class:`EncodedStream`.  The source ``sequence`` must be the one
+    the stream was encoded from — it supplies the pixels that decoder
+    PSNR and bad-pixel counts are measured against.
+
+    Args:
+        stream: output of :func:`encode_phase` (possibly cache-shared).
+        sequence: the stream's source video (metric ground truth).
+        loss_model: channel behaviour; defaults to a lossless channel.
+        config: codec/network/energy parameters — must match the
+            encode-side config for the decode to be meaningful.
+        concealment: decoder-side repair; defaults to the paper's copy
+            scheme.
+        bit_errors: optional bit-flipping corruption applied to
+            delivered packets (VLC desynchronization stress).
+        faults: optional fault plan; ``channel``-stage faults hit the
+            delivered packet stream after ``bit_errors``,
+            ``decoder_input`` faults hit the depacketized fragments.
+            The stream's own encode-stage events are prepended to
+            ``result.fault_events`` so the run's log stays complete.
+    """
+    config = config or SimulationConfig()
+    _check_dimensions(sequence, config)
+    if len(sequence) != stream.n_frames:
+        raise ValueError(
+            f"sequence has {len(sequence)} frames but the encoded stream "
+            f"carries {stream.n_frames}"
+        )
+    return _transmit_stream(
+        stream,
+        sequence,
+        config,
+        Decoder(config.codec),
+        Depacketizer(),
+        Channel(loss_model if loss_model is not None else NoLoss()),
+        EnergyModel(config.device),
+        concealment if concealment is not None else CopyConcealment(),
+        bit_errors,
+        _as_injector(faults),
+    )
+
+
 def simulate(
     sequence: VideoSequence,
     strategy: ResilienceStrategy,
@@ -197,6 +541,12 @@ def simulate(
     faults: Optional[Union[FaultPlan, FaultInjector]] = None,
 ) -> SimulationResult:
     """Run the full Figure-1 pipeline and collect every metric.
+
+    Composes :func:`encode_phase` and :func:`transmit_phase` under one
+    ``simulate`` trace root.  Results are identical to running the two
+    phases by hand — every stateful pipeline object (packetizer
+    sequence numbers, channel RNG, fault RNG streams) sees the same
+    per-frame call order either way.
 
     Args:
         sequence: source video.
@@ -211,127 +561,44 @@ def simulate(
         bit_errors: optional bit-flipping corruption applied to
             delivered packets (VLC desynchronization stress).
         faults: optional deterministic fault plan (or a prepared
-            :class:`~repro.faults.FaultInjector`): channel-stage faults
-            hit the delivered packet stream after ``bit_errors``,
+            :class:`~repro.faults.FaultInjector`): encode-stage faults
+            hit the bitstream before packetization, channel-stage
+            faults hit the delivered packet stream after ``bit_errors``,
             decoder-input faults hit the depacketized fragments.  Every
             injection lands in ``result.fault_events`` and, when
             tracing, in the obs trace.
     """
     config = config or SimulationConfig()
-    loss_model = loss_model if loss_model is not None else NoLoss()
-    concealment = concealment if concealment is not None else CopyConcealment()
-    injector: Optional[FaultInjector] = None
-    if isinstance(faults, FaultInjector):
-        injector = faults
-    elif faults is not None and faults:
-        injector = FaultInjector(faults)
-
-    codec = config.codec
-    if sequence.width != codec.width or sequence.height != codec.height:
-        raise ValueError(
-            f"sequence {sequence.width}x{sequence.height} does not match "
-            f"codec {codec.width}x{codec.height}"
-        )
-
-    encoder = Encoder(codec, strategy)
-    decoder = Decoder(codec)
-    packetizer = Packetizer(codec, mtu=config.mtu)
-    depacketizer = Depacketizer()
-    channel = Channel(loss_model)
-    energy_model = EnergyModel(config.device)
+    _check_dimensions(sequence, config)
+    injector = _as_injector(faults)
     tracer = get_tracer()
 
-    records: list[FrameRecord] = []
-    decoder_reference: Optional[np.ndarray] = None
-    decoder_chroma: Optional[tuple[np.ndarray, np.ndarray]] = None
+    # Construct every pipeline object before the trace root opens, so
+    # the root's duration is simulation work that the stage spans fully
+    # account for (the coverage bar in tests/test_obs.py).
+    encoder = Encoder(config.codec, strategy)
+    packetizer = Packetizer(config.codec, mtu=config.mtu)
+    decoder = Decoder(config.codec)
+    depacketizer = Depacketizer()
+    channel = Channel(loss_model if loss_model is not None else NoLoss())
+    energy_model = EnergyModel(config.device)
+    concealment = concealment if concealment is not None else CopyConcealment()
 
     with tracer.span("simulate") as run_span:
-        for frame in sequence:
-            if rate_controller is not None:
-                encoder.quantizer = rate_controller.quantizer
-            with tracer.span("encode_frame") as encode_span:
-                encoded = encoder.encode_frame(frame)
-                encode_span.add(
-                    bits=encoded.stats.bits,
-                    intra_mbs=encoded.stats.intra_mbs,
-                    me_skipped_mbs=encoded.stats.me_skipped_mbs,
-                )
-            if rate_controller is not None:
-                rate_controller.observe(encoded.stats.bits)
-            with tracer.span("packetize") as packet_span:
-                packets = packetizer.packetize(encoded)
-                packet_span.add(packets=len(packets))
-            with tracer.span("channel"):
-                delivered = channel.transmit(packets)
-                if bit_errors is not None:
-                    delivered = bit_errors.corrupt(delivered)
-                if injector is not None:
-                    delivered = injector.apply_to_packets(
-                        delivered, frame.index
-                    )
-            with tracer.span("decode_frame"):
-                fragments = depacketizer.group_by_frame(
-                    delivered, frame.index + 1
-                )[frame.index]
-                if injector is not None:
-                    fragments = injector.apply_to_fragments(
-                        fragments, frame.index
-                    )
-                result = decoder.decode_frame(
-                    fragments,
-                    decoder_reference,
-                    expected_index=frame.index,
-                    reference_chroma=decoder_chroma,
-                )
-            with tracer.span("conceal"):
-                repaired = concealment.conceal(
-                    result.frame,
-                    result.received,
-                    decoder_reference,
-                    mvs_pixels=result.mvs_pixels,
-                    modes=result.modes,
-                )
-            decoder_reference = repaired
-            # Lost chroma macroblocks already hold the reference copy (the
-            # paper's copy concealment); spatial repair is luma-only.
-            decoder_chroma = result.chroma
-
-            with tracer.span("metrics"):
-                records.append(
-                    FrameRecord(
-                        frame_index=frame.index,
-                        frame_type=encoded.frame_type,
-                        size_bytes=encoded.size_bytes,
-                        intra_mbs=encoded.stats.intra_mbs,
-                        me_skipped_mbs=encoded.stats.me_skipped_mbs,
-                        packets_sent=len(packets),
-                        # Duplicate-packet faults can deliver more
-                        # packets than were sent; loss never goes
-                        # negative.
-                        packets_lost=max(len(packets) - len(delivered), 0),
-                        psnr_encoder=encoded.stats.psnr_reconstructed,
-                        psnr_decoder=psnr(frame.pixels, repaired),
-                        bad_pixels=bad_pixel_count(
-                            frame.pixels, repaired, config.bad_pixel_threshold
-                        ),
-                        damaged_fragments=result.damaged_fragments,
-                    )
-                )
-
-        run_span.add(frames=len(records))
-        tracer.metrics.gauge("sim.frames", len(records))
-        with tracer.span("report"):
-            return SimulationResult(
-                sequence_name=sequence.name,
-                strategy_name=strategy.name,
-                frames=tuple(records),
-                counters=encoder.counters,
-                energy=energy_model.breakdown(encoder.counters),
-                channel_log=channel.log,
-                size_stats=frame_size_stats([r.size_bytes for r in records]),
-                decoder_counters=decoder.counters,
-                decoder_energy=energy_model.breakdown(decoder.counters),
-                fault_events=(
-                    tuple(injector.events) if injector is not None else ()
-                ),
-            )
+        stream = _encode_stream(
+            sequence, strategy, encoder, packetizer, rate_controller, injector
+        )
+        run_span.add(frames=stream.n_frames)
+        tracer.metrics.gauge("sim.frames", stream.n_frames)
+        return _transmit_stream(
+            stream,
+            sequence,
+            config,
+            decoder,
+            depacketizer,
+            channel,
+            energy_model,
+            concealment,
+            bit_errors,
+            injector,
+        )

@@ -49,17 +49,25 @@ import os
 import pickle
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, encode_subplan
 from repro.faults.inject import InjectedWorkerCrash
 from repro.network.loss import UniformLoss
-from repro.obs import Tracer, merge_job_traces, use_tracer, write_trace
-from repro.resilience.registry import build_strategy
-from repro.sim.pipeline import SimulationConfig, SimulationResult, simulate
+from repro.obs import Tracer, get_tracer, merge_job_traces, use_tracer, write_trace
+from repro.resilience.registry import build_strategy, strategy_to_spec
+from repro.sim.pipeline import (
+    EncodedStream,
+    SimulationConfig,
+    SimulationResult,
+    encode_phase,
+    simulate,
+    transmit_phase,
+)
 from repro.video.frame import VideoSequence
 from repro.video.synthetic import (
     SEQUENCE_GENERATORS,
@@ -71,6 +79,10 @@ from repro.video.synthetic import (
 #: previously cached results stale (new metrics, changed semantics).
 #: Version 2: FrameRecord.damaged_fragments + SimulationResult.fault_events.
 CACHE_SCHEMA_VERSION = 2
+
+#: Schema of the :class:`~repro.sim.pipeline.EncodedStream` pickles held
+#: by :class:`EncodedStreamCache`; part of every encode cache key.
+STREAM_SCHEMA_VERSION = 1
 
 #: Schema version of the JSON failure manifest written by
 #: :meth:`GridManifest.write`.
@@ -540,13 +552,29 @@ class ResultCache:
     deleted.  Keys are the stable content hashes produced by
     :meth:`JobSpec.content_hash` / :func:`stable_hash`, so the cache is
     shared safely between sweeps: equal spec, equal key, equal result.
+
+    ``max_bytes`` bounds the directory's total ``*.pkl`` size with LRU
+    eviction: every read refreshes its entry's mtime, and every write
+    evicts stalest-first until the budget holds again.  The entry just
+    written is never evicted, even when it alone exceeds the budget —
+    a cache that silently drops what it was asked to keep would turn
+    one oversized result into an infinite recompute loop.  ``None``
+    (the default) keeps the historical unbounded behaviour.
     """
 
-    def __init__(self, directory: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path] = DEFAULT_CACHE_DIR,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -567,6 +595,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # mark recently-used for LRU eviction
+            except OSError:
+                pass
         return value
 
     def put(self, key: str, value: object) -> None:
@@ -575,6 +608,28 @@ class ResultCache:
         with tmp.open("wb") as handle:
             pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)
+        self._evict(keep=path)
+
+    def _evict(self, keep: Path) -> None:
+        """Drop stalest entries until the byte budget holds again."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:  # raced with another process's eviction
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, path, stat.st_size))
+        entries.sort()
+        while total > self.max_bytes and entries:
+            _, path, size = entries.pop(0)
+            path.unlink(missing_ok=True)
+            total -= size
+            self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -589,6 +644,163 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+
+# ---------------------------------------------------------------------------
+# Encoded-stream cache: encode once, replay many channel realizations
+# ---------------------------------------------------------------------------
+
+
+class EncodedStreamCache:
+    """Two-level cache of :class:`~repro.sim.pipeline.EncodedStream`.
+
+    A small in-memory LRU front (the streams a worker is actively
+    replaying) over an optional on-disk :class:`ResultCache` back end
+    (shared between workers and across runs) — the disk layer inherits
+    ResultCache's atomic writes, corrupt-entry recovery and max-bytes
+    eviction wholesale.  Pass ``directory=None`` for a memory-only
+    cache (serial runs, tests).
+
+    Keys come from :func:`encode_stream_key`: the encoder is
+    deterministic, so equal keys mean byte-identical streams and a
+    cache hit is exactly as good as encoding again.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_entries: int = 8,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._memory: OrderedDict[str, EncodedStream] = OrderedDict()
+        self.max_entries = max_entries
+        self.disk: Optional[ResultCache] = (
+            ResultCache(directory, max_bytes=max_bytes)
+            if directory is not None
+            else None
+        )
+        self.hits = 0
+        self.misses = 0
+        self.encodes = 0
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self.disk.directory if self.disk is not None else None
+
+    def _remember(self, key: str, stream: EncodedStream) -> None:
+        self._memory[key] = stream
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, key: str) -> Optional[EncodedStream]:
+        stream = self._memory.get(key)
+        if stream is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return stream
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if isinstance(value, EncodedStream):
+                self._remember(key, value)
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stream: EncodedStream) -> None:
+        self._remember(key, stream)
+        if self.disk is not None:
+            self.disk.put(key, stream)
+
+    def get_or_encode(
+        self, key: str, encode: Callable[[], EncodedStream]
+    ) -> tuple[EncodedStream, bool]:
+        """The cached stream for ``key``, or ``encode()``'s fresh one.
+
+        Returns ``(stream, reused)`` — ``reused`` is what the runner
+        reports as the ``encode_reused`` trace event, keeping per-cell
+        energy accounting honest about work that did not happen.
+        """
+        stream = self.get(key)
+        if stream is not None:
+            return stream, True
+        self.encodes += 1
+        stream = encode()
+        self.put(key, stream)
+        return stream, False
+
+
+def encode_stream_key(
+    *,
+    sequence: str,
+    scheme: str,
+    strategy_kwargs: Mapping[str, Any],
+    config: SimulationConfig,
+    encode_faults: Optional[FaultPlan] = None,
+) -> str:
+    """Stable cache key for one :func:`~repro.sim.pipeline.encode_phase`.
+
+    ``sequence`` is a pixel-content digest (:func:`sequence_digest`),
+    so renamed-but-identical clips share and identically-named-but-
+    different clips never collide.  The key covers exactly what can
+    change the stream bytes: source pixels, resolved strategy (scheme
+    plus its kwargs — for PBPAIR that includes the assumed ``plr``),
+    codec parameters, MTU, and the encode-stage fault sub-plan.
+    Channel seed/PLR/granularity, the device energy profile and the
+    bad-pixel threshold are transmit-side and deliberately absent —
+    that absence *is* the sharing.
+    """
+    return stable_hash(
+        {
+            "kind": "encode-stream",
+            "stream_schema": STREAM_SCHEMA_VERSION,
+            "sequence": sequence,
+            "scheme": scheme.strip().upper(),
+            "strategy_kwargs": dict(strategy_kwargs),
+            "codec": config.codec,
+            "mtu": config.mtu,
+            "encode_faults": encode_faults,
+        }
+    )
+
+
+def _strategy_kwargs_for(spec: "JobSpec") -> dict[str, Any]:
+    """The kwargs :func:`run_job` resolves a spec's strategy with."""
+    if spec.is_pbpair:
+        return {"plr": spec.plr, **spec.pbpair_kwargs}
+    return {}
+
+
+@lru_cache(maxsize=32)
+def _declared_sequence_digest(
+    sequence: str, n_frames: int, synthetic: Optional[SyntheticConfig]
+) -> str:
+    """Memoized pixel digest of a declaratively-specified sequence."""
+    return sequence_digest(_sequence_for(sequence, n_frames, synthetic))
+
+
+def encode_content_hash(spec: "JobSpec") -> str:
+    """The encode-phase cache key of one grid cell.
+
+    Two specs with equal hashes share one encoded stream: same pixels,
+    same resolved strategy, same codec/MTU, same encode-stage faults.
+    A seeds-sweep grid therefore collapses to one encode per scheme —
+    PBPAIR cells additionally split per PLR, because the scheme's
+    intra-refresh probability is a function of the loss rate it
+    assumes.
+    """
+    return encode_stream_key(
+        sequence=_declared_sequence_digest(
+            spec.sequence, spec.n_frames, spec.synthetic
+        ),
+        scheme=spec.scheme,
+        strategy_kwargs=_strategy_kwargs_for(spec),
+        config=spec.config,
+        encode_faults=encode_subplan(spec.faults),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -610,28 +822,60 @@ def _sequence_for(
     return SEQUENCE_GENERATORS[sequence](n_frames)
 
 
-def run_job(spec: JobSpec) -> SimulationResult:
+def run_job(
+    spec: JobSpec,
+    stream_cache: Optional[EncodedStreamCache] = None,
+) -> SimulationResult:
     """Execute one grid cell from scratch, deterministically.
 
     Every random element (synthetic sequence, channel) is seeded from
     the spec, so equal specs produce equal results in any process.
+
+    With a ``stream_cache``, the encode phase is looked up under
+    :func:`encode_content_hash` and only the transmit phase runs when
+    another cell already paid for the encode — value-identical to the
+    full pipeline, with an ``encode_reused`` trace event marking the
+    skipped work.  Specs carrying encode-stage faults opt out and run
+    the whole pipeline (their corrupted stream is theirs alone).
     """
     sequence = _sequence_for(spec.sequence, spec.n_frames, spec.synthetic)
-    if spec.is_pbpair:
-        kwargs = {"plr": spec.plr, **spec.pbpair_kwargs}
-        strategy = build_strategy("PBPAIR", **kwargs)
-    else:
-        strategy = build_strategy(spec.scheme)
+    strategy = build_strategy(spec.scheme, **_strategy_kwargs_for(spec))
     loss_model = UniformLoss(
         plr=spec.plr, seed=spec.channel_seed, granularity=spec.granularity
     )
-    return simulate(
-        sequence,
-        strategy,
-        loss_model=loss_model,
-        config=spec.config,
-        faults=spec.faults,
-    )
+    if stream_cache is None or encode_subplan(spec.faults) is not None:
+        return simulate(
+            sequence,
+            strategy,
+            loss_model=loss_model,
+            config=spec.config,
+            faults=spec.faults,
+        )
+
+    tracer = get_tracer()
+    with tracer.span("simulate") as run_span:
+        key = encode_content_hash(spec)
+        stream, reused = stream_cache.get_or_encode(
+            key,
+            lambda: encode_phase(sequence, strategy, config=spec.config),
+        )
+        if reused and tracer.enabled:
+            tracer.event(
+                "encode_reused",
+                key=key[:16],
+                scheme=spec.scheme,
+                sequence=spec.sequence,
+                frames=stream.n_frames,
+            )
+        run_span.add(frames=stream.n_frames)
+        tracer.metrics.gauge("sim.frames", stream.n_frames)
+        return transmit_phase(
+            stream,
+            sequence,
+            loss_model=loss_model,
+            config=spec.config,
+            faults=spec.faults,
+        )
 
 
 def _job_trace_id(spec: JobSpec) -> str:
@@ -673,6 +917,9 @@ def _execute_job(
     trace_dir: Optional[str] = None,
     attempt: int = 1,
     allow_process_exit: bool = False,
+    stream_dir: Optional[str] = None,
+    share_streams: bool = False,
+    stream_cache: Optional[EncodedStreamCache] = None,
 ) -> tuple[bool, object, float]:
     """Worker entry point: never raises*, returns a picklable outcome.
 
@@ -687,20 +934,29 @@ def _execute_job(
     parent merges the per-job files after the grid completes.  Tracing
     is observation-only: the returned result is bit-identical either
     way.
+
+    With ``share_streams``, the job replays its cell against the
+    per-process encoded-stream cache rooted at ``stream_dir`` (memory
+    only when ``None``) — the worker looks the stream up by content
+    hash instead of receiving pickled megabytes from the parent.
     """
     start = time.perf_counter()
     try:
         _raise_worker_faults(spec, attempt, allow_process_exit)
+        if stream_cache is None and share_streams:
+            stream_cache = _worker_stream_cache(stream_dir)
+        elif not share_streams:
+            stream_cache = None
         if trace_dir is not None:
             tracer = Tracer(trace_id=_job_trace_id(spec))
             with use_tracer(tracer):
-                result = run_job(spec)
+                result = run_job(spec, stream_cache)
             write_trace(
                 Path(trace_dir) / f"job-{spec.content_hash()[:16]}.jsonl",
                 tracer,
             )
         else:
-            result = run_job(spec)
+            result = run_job(spec, stream_cache)
         return True, result, time.perf_counter() - start
     except Exception as error:  # noqa: BLE001 - error capture is the contract
         payload = (
@@ -722,10 +978,24 @@ def _worker_cache(directory: str) -> ResultCache:
     return ResultCache(directory)
 
 
+@lru_cache(maxsize=4)
+def _worker_stream_cache(directory: Optional[str]) -> EncodedStreamCache:
+    """Per-process encoded-stream cache handle.
+
+    Like :func:`_worker_cache` but for streams; ``None`` gives this
+    process a memory-only cache (jobs of one serial run, or of one
+    worker's lifetime, still share).  Keys are content hashes, so a
+    long-lived handle can never serve a stale stream.
+    """
+    return EncodedStreamCache(directory)
+
+
 def _execute_chunk(
     specs: Sequence[JobSpec],
     trace_dir: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    stream_dir: Optional[str] = None,
+    share_streams: bool = False,
 ) -> list[tuple[bool, object, float]]:
     """Run a batch of clean-path jobs in one worker dispatch.
 
@@ -737,11 +1007,17 @@ def _execute_chunk(
     per-job dispatch latency nor the cache writes serialize on the
     parent.  Outcomes are per spec, order-aligned, never raising —
     identical to what per-job dispatch would have produced.
+
+    :func:`run_grid` sorts the clean path's pending cells by encode
+    key before chunking, so the cells of one encode group usually land
+    in the same chunk and hit this worker's stream cache back to back.
     """
     cache = _worker_cache(cache_dir) if cache_dir is not None else None
     outcomes = []
     for spec in specs:
-        ok, payload, elapsed = _execute_job(spec, trace_dir, 1, True)
+        ok, payload, elapsed = _execute_job(
+            spec, trace_dir, 1, True, stream_dir, share_streams
+        )
         if ok and cache is not None:
             cache.put(spec.content_hash(), payload)
         outcomes.append((ok, payload, elapsed))
@@ -840,6 +1116,8 @@ def run_grid(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     manifest_path: Optional[Union[str, Path]] = None,
+    stream_cache: Optional[EncodedStreamCache] = None,
+    share_streams: bool = True,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
 
@@ -878,6 +1156,17 @@ def run_grid(
             written here after the grid completes — every submitted
             job, succeeded or failed, for machine consumption.  Written
             even when everything succeeded (``complete: true``).
+        stream_cache: encoded-stream cache for encode-once execution.
+            Defaults to one rooted at ``<cache dir>/streams`` when a
+            result ``cache`` is given, else a memory-only cache per
+            process.  Workers receive the cache *directory*, never a
+            pickled stream.
+        share_streams: set False to force every cell through the full
+            encode+transmit pipeline (the A/B lever the equivalence
+            tests and ``bench_grid_reuse`` pull).  Sharing never
+            changes values — cells that differ only in channel
+            conditions replay one byte-identical stream; cells whose
+            fault plans corrupt the encode stage opt out on their own.
 
     Returns:
         One :class:`JobResult` or :class:`JobFailure` per input spec,
@@ -907,6 +1196,17 @@ def run_grid(
         trace_path = Path(trace_dir)
         trace_path.mkdir(parents=True, exist_ok=True)
         trace_dir_arg = str(trace_path)
+
+    stream_dir_arg: Optional[str] = None
+    if share_streams:
+        if stream_cache is None:
+            stream_cache = EncodedStreamCache(
+                cache.directory / "streams" if cache is not None else None
+            )
+        if stream_cache.directory is not None:
+            stream_dir_arg = str(stream_cache.directory)
+    else:
+        stream_cache = None
 
     pending: list[int] = []
     labels: dict[int, list[str]] = {}
@@ -981,7 +1281,11 @@ def run_grid(
             note_attempt(index)
             while True:
                 ok, payload, elapsed = _execute_job(
-                    specs[index], trace_dir_arg, attempts[index]
+                    specs[index],
+                    trace_dir_arg,
+                    attempts[index],
+                    share_streams=share_streams,
+                    stream_cache=stream_cache,
                 )
                 if not should_retry(index, ok):
                     break
@@ -1008,9 +1312,19 @@ def run_grid(
         # shares the config objects across a chunk's specs, so the
         # per-job submit payload shrinks along with the dispatch count.
         chunksize = max(1, -(-len(pending) // (workers * 4)))
+        # Encode-group-contiguous dispatch: cells sharing an encoded
+        # stream land in the same chunk (hence the same worker's
+        # stream cache) whenever the grid's own order interleaves
+        # them.  Output order is unaffected — outcomes key on the
+        # original index.
+        dispatch = (
+            sorted(pending, key=lambda i: (encode_content_hash(specs[i]), i))
+            if share_streams
+            else pending
+        )
         chunks = [
-            pending[i : i + chunksize]
-            for i in range(0, len(pending), chunksize)
+            dispatch[i : i + chunksize]
+            for i in range(0, len(dispatch), chunksize)
         ]
         cache_dir = str(cache.directory) if cache is not None else None
         try:
@@ -1020,6 +1334,8 @@ def run_grid(
                     [specs[i] for i in chunk],
                     trace_dir_arg,
                     cache_dir,
+                    stream_dir_arg,
+                    share_streams,
                 )
                 for chunk in chunks
             ]
@@ -1066,6 +1382,8 @@ def run_grid(
             trace_dir_arg,
             attempts[index],
             True,  # allow_process_exit: the pool absorbs a hard exit
+            stream_dir_arg,
+            share_streams,
         )
 
     def rebuild_and_resubmit() -> None:
@@ -1139,9 +1457,56 @@ def _execute_simulation(task: tuple) -> SimulationResult:
     return simulate(sequence, strategy, loss_model=loss_model, config=config)
 
 
+def _execute_transmit(task: tuple) -> SimulationResult:
+    """Replay one channel realization against a pre-encoded stream.
+
+    The transmit-only sibling of :func:`_execute_simulation` for tasks
+    whose encode phase was shared; opens the same ``simulate`` trace
+    root so per-run span structure stays uniform either way.
+    """
+    stream, sequence, loss_model, config = task
+    tracer = get_tracer()
+    with tracer.span("simulate") as run_span:
+        run_span.add(frames=stream.n_frames)
+        tracer.metrics.gauge("sim.frames", stream.n_frames)
+        return transmit_phase(
+            stream, sequence, loss_model=loss_model, config=config
+        )
+
+
+def _simulation_signature(
+    task: tuple, digests: dict[int, str]
+) -> Optional[str]:
+    """Encode-sharing key for one (sequence, strategy, loss, config) task.
+
+    ``None`` (no sharing) when the strategy did not come from the spec
+    registry — an unknown strategy type gives no grounds to assume two
+    instances encode identically.  ``digests`` memoizes pixel digests
+    by object identity so replication sweeps hash their clip once.
+    """
+    sequence, strategy, _, config = task
+    try:
+        spec_str, kwargs = strategy_to_spec(strategy)
+    except (ValueError, AttributeError):
+        return None
+    key = id(sequence)
+    if key not in digests:
+        digests[key] = sequence_digest(sequence)
+    try:
+        return encode_stream_key(
+            sequence=digests[key],
+            scheme=spec_str,
+            strategy_kwargs=kwargs,
+            config=config or SimulationConfig(),
+        )
+    except TypeError:  # unhashable kwargs: skip sharing, never fail
+        return None
+
+
 def run_simulations(
     tasks: Sequence[tuple],
     max_workers: Optional[int] = 1,
+    share_streams: bool = True,
 ) -> list[SimulationResult]:
     """Run ``simulate`` over (sequence, strategy, loss_model, config) tuples.
 
@@ -1151,6 +1516,14 @@ def run_simulations(
     are instantiated by the *caller* (fresh per run — they are
     stateful), then shipped to workers as initial-state instances.
 
+    With ``share_streams`` (the default), tasks whose strategies round-
+    trip through the spec registry are grouped by encode key; each
+    group with two or more members is encoded once in the parent and
+    its members run only the transmit phase — a replication sweep over
+    channel seeds pays for one encode instead of N.  Groups of one and
+    non-registry strategies run the full pipeline unchanged, and the
+    results are value-identical either way.
+
     Falls back to serial execution when ``max_workers`` is 1, when a
     task does not pickle (user-supplied objects are arbitrary), or when
     the platform has no working process pool.  Exceptions propagate to
@@ -1158,22 +1531,52 @@ def run_simulations(
     always had.
     """
     tasks = list(tasks)
+
+    runs: list[tuple[Callable[[tuple], SimulationResult], tuple]] = []
+    if share_streams:
+        digests: dict[int, str] = {}
+        signatures = [_simulation_signature(task, digests) for task in tasks]
+        members: dict[str, int] = {}
+        for signature in signatures:
+            if signature is not None:
+                members[signature] = members.get(signature, 0) + 1
+        streams: dict[str, EncodedStream] = {}
+        for task, signature in zip(tasks, signatures):
+            if signature is None or members[signature] < 2:
+                runs.append((_execute_simulation, task))
+                continue
+            if signature not in streams:
+                sequence, strategy, _, config = task
+                streams[signature] = encode_phase(
+                    sequence, strategy, config=config
+                )
+            runs.append(
+                (
+                    _execute_transmit,
+                    (streams[signature], task[0], task[2], task[3]),
+                )
+            )
+    else:
+        runs = [(_execute_simulation, task) for task in tasks]
+
     workers = min(resolve_workers(max_workers), max(len(tasks), 1))
     if workers > 1:
         try:
-            for task in tasks:
-                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            for _, payload in runs:
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             workers = 1
 
     if workers <= 1:
-        return [_execute_simulation(task) for task in tasks]
+        return [fn(payload) for fn, payload in runs]
 
     try:
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     except (NotImplementedError, OSError, PermissionError):
-        return [_execute_simulation(task) for task in tasks]
+        return [fn(payload) for fn, payload in runs]
 
     with executor:
-        futures = [executor.submit(_execute_simulation, task) for task in tasks]
+        futures = [
+            executor.submit(fn, payload) for fn, payload in runs
+        ]
         return [future.result() for future in futures]

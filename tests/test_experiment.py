@@ -153,6 +153,50 @@ class TestSizeMatching:
         )
         assert th_warm == th_cold
         assert cache.hits >= probes  # every probe answered from disk
+        assert th_warm.probes == th_warm.cache_hits
+        assert th_warm.unique_encodes == 0
+
+
+class TestCalibrationResult:
+    def test_behaves_as_float(self):
+        from repro.sim.experiment import CalibrationResult
+
+        th = CalibrationResult(0.5, probes=4, unique_encodes=3, cache_hits=1)
+        assert th == 0.5
+        assert f"{th:.3f}" == "0.500"
+        assert th * 2 == 1.0
+        assert th.saved_encodes == 1
+
+    def test_reports_probe_and_encode_counts(self, clip, sim_config):
+        target = total_encoded_bytes(clip, build_strategy("GOP-3"), sim_config)
+        th = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=4
+        )
+        assert th.probes >= 1
+        assert th.unique_encodes == th.probes  # no cache: every probe encodes
+        assert th.cache_hits == 0
+        assert th.saved_encodes == 0
+
+    def test_warm_stream_cache_skips_encodes(self, clip, sim_config):
+        from repro.sim.runner import EncodedStreamCache
+
+        target = total_encoded_bytes(clip, build_strategy("GOP-3"), sim_config)
+        stream_cache = EncodedStreamCache(max_entries=16)
+        cold = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=4,
+            stream_cache=stream_cache,
+        )
+        assert cold.unique_encodes == cold.probes
+        assert stream_cache.encodes == cold.probes
+        warm = match_intra_th_to_size(
+            clip, target, plr=0.3, config=sim_config, max_iterations=4,
+            stream_cache=stream_cache,
+        )
+        assert warm == cold
+        assert warm.unique_encodes == 0
+        assert warm.cache_hits == warm.probes
+        assert warm.saved_encodes == warm.probes
+        assert stream_cache.encodes == cold.probes  # no new encoder runs
 
 
 class TestReport:

@@ -78,6 +78,40 @@ class TestPerfGate:
         assert code == 2
         assert "could not compare" in out
 
+    def test_ceiling_skip_when_baseline_unreachable(self, tmp_path):
+        """A 4x baseline cannot regress on a 1-core host: skip, not fail."""
+        code, out = run_gate(
+            tmp_path,
+            {"speedup_vs_serial": {"4": 3.8}},
+            {"speedup_vs_serial": {"4": 1.0}, "parallel_ceiling": {"4": 1}},
+            "speedup_vs_serial.4",
+            extra=("--ceiling-field", "parallel_ceiling.4"),
+        )
+        assert code == 0
+        assert "SKIP" in out
+
+    def test_ceiling_within_reach_still_gates(self, tmp_path):
+        code, out = run_gate(
+            tmp_path,
+            {"speedup_vs_serial": {"4": 3.8}},
+            {"speedup_vs_serial": {"4": 1.1}, "parallel_ceiling": {"4": 4}},
+            "speedup_vs_serial.4",
+            extra=("--ceiling-field", "parallel_ceiling.4"),
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_missing_ceiling_field_is_a_config_error(self, tmp_path):
+        code, out = run_gate(
+            tmp_path,
+            {"speedup": 4.0},
+            {"speedup": 4.0},
+            "speedup",
+            extra=("--ceiling-field", "parallel_ceiling.4"),
+        )
+        assert code == 2
+        assert "could not compare" in out
+
     def test_committed_baselines_carry_the_gated_fields(self):
         repo = GATE.parents[1]
         entropy = json.loads(
@@ -88,3 +122,15 @@ class TestPerfGate:
         )
         assert entropy["combined_encode_decode_speedup"] > 0
         assert blocks["combined_block_speedup"] > 0
+        grid = json.loads(
+            (repo / "BENCH_grid.json").read_text(encoding="utf-8")
+        )
+        assert grid["cells_per_unique_encode"] >= 4.0
+        assert grid["results_identical"] is True
+        runner = json.loads(
+            (repo / "BENCH_runner.json").read_text(encoding="utf-8")
+        )
+        for workers, speedup in runner["speedup_vs_serial"].items():
+            # committed ratios honor the clamp: no speedup above the
+            # host's physical parallelism ceiling
+            assert speedup <= runner["parallel_ceiling"][workers]

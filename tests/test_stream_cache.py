@@ -1,0 +1,152 @@
+"""ResultCache byte-budget LRU and the two-level EncodedStreamCache."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience.registry import build_strategy
+from repro.sim.pipeline import SimulationConfig, encode_phase
+from repro.sim.runner import EncodedStreamCache, ResultCache
+
+from tests.conftest import small_config, small_sequence
+
+
+def _stream(gop: int = 2):
+    return encode_phase(
+        small_sequence(4),
+        build_strategy(f"GOP-{gop}"),
+        SimulationConfig(codec=small_config()),
+    )
+
+
+def _age(cache: ResultCache, key: str, seconds_ago: float) -> None:
+    """Backdate an entry's mtime so LRU ordering is deterministic."""
+    path = cache.path_for(key)
+    stat = path.stat()
+    os.utime(path, (stat.st_atime, stat.st_mtime - seconds_ago))
+
+
+class TestResultCacheLRU:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.put(f"k{i}", b"x" * 1024)
+        assert len(cache) == 20
+        assert cache.evictions == 0
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_evicts_stalest_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=4096)
+        cache.put("old", b"x" * 1500)
+        _age(cache, "old", 100)
+        cache.put("mid", b"x" * 1500)
+        _age(cache, "mid", 50)
+        cache.put("new", b"x" * 1500)
+        assert "old" not in cache
+        assert "mid" in cache and "new" in cache
+        assert cache.evictions == 1
+
+    def test_never_evicts_just_written_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=64)
+        cache.put("huge", b"x" * 4096)
+        assert "huge" in cache  # over budget, but kept
+        assert cache.get("huge") == b"x" * 4096
+        cache.put("huge2", b"x" * 4096)
+        assert "huge2" in cache
+        assert "huge" not in cache  # the *previous* entry pays
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=4096)
+        cache.put("a", b"x" * 1500)
+        cache.put("b", b"x" * 1500)
+        _age(cache, "a", 100)
+        _age(cache, "b", 50)
+        assert cache.get("a") is not None  # touch: a becomes most recent
+        cache.put("c", b"x" * 1500)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"value": 1})
+        cache.path_for("k").write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+        assert "k" not in cache
+        assert cache.misses == 1
+
+
+class TestEncodedStreamCache:
+    def test_rejects_nonpositive_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            EncodedStreamCache(max_entries=0)
+
+    def test_memory_only_get_or_encode(self):
+        cache = EncodedStreamCache()
+        calls = {"n": 0}
+
+        def encode():
+            calls["n"] += 1
+            return _stream()
+
+        first, reused_a = cache.get_or_encode("k", encode)
+        second, reused_b = cache.get_or_encode("k", encode)
+        assert (reused_a, reused_b) == (False, True)
+        assert second is first
+        assert calls["n"] == 1
+        assert (cache.encodes, cache.hits, cache.misses) == (1, 1, 1)
+
+    def test_memory_lru_evicts_oldest(self):
+        cache = EncodedStreamCache(max_entries=2)
+        streams = {name: _stream() for name in ("a", "b", "c")}
+        cache.put("a", streams["a"])
+        cache.put("b", streams["b"])
+        assert cache.get("a") is streams["a"]  # refresh: b is now oldest
+        cache.put("c", streams["c"])
+        assert cache.get("b") is None
+        assert cache.get("a") is streams["a"]
+        assert cache.get("c") is streams["c"]
+
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        writer = EncodedStreamCache(tmp_path / "streams")
+        stream = _stream()
+        writer.put("k", stream)
+
+        reader = EncodedStreamCache(tmp_path / "streams")
+        loaded = reader.get("k")
+        assert loaded is not None
+        assert loaded.n_frames == stream.n_frames
+        assert [
+            [p.payload for p in frame.packets] for frame in loaded.frames
+        ] == [[p.payload for p in frame.packets] for frame in stream.frames]
+        assert reader.hits == 1
+
+    def test_disk_eviction_falls_back_to_reencode(self, tmp_path):
+        cache = EncodedStreamCache(
+            tmp_path / "streams", max_entries=1, max_bytes=1
+        )
+        cache.put("a", _stream(2))
+        cache.put("b", _stream(3))  # evicts a's disk entry and memory slot
+        assert cache.disk.evictions == 1
+        fresh, reused = cache.get_or_encode("a", lambda: _stream(2))
+        assert reused is False
+        assert fresh.n_frames == 4
+
+    def test_corrupt_disk_entry_recovers(self, tmp_path):
+        cache = EncodedStreamCache(tmp_path / "streams")
+        cache.put("k", _stream())
+        cache._memory.clear()
+        cache.disk.path_for("k").write_bytes(b"garbage")
+        stream, reused = cache.get_or_encode("k", _stream)
+        assert reused is False
+        assert stream.n_frames == 4
+
+    def test_non_stream_disk_value_is_ignored(self, tmp_path):
+        """A foreign pickle under our key must not be served as a stream."""
+        cache = EncodedStreamCache(tmp_path / "streams")
+        cache.disk.put("k", {"not": "a stream"})
+        assert cache.get("k") is None
