@@ -40,6 +40,23 @@ here are stable even when the implementing module moves.
 Observability rides along: :class:`Tracer`, :func:`use_tracer`,
 :func:`write_trace`, :func:`load_trace` and :func:`trace_summary` are
 part of the facade so traced runs do not need internal imports either.
+
+The streaming session service is part of the facade too:
+:class:`RunnerOptions` bundles the execution knobs shared by the batch
+verbs and the daemon, the wire types (:class:`JobSubmit`,
+:class:`JobStatus`, :class:`SessionResult`, :class:`FleetSummary`,
+:class:`ServiceManifest`) are the schema-versioned job API, and
+:class:`ServiceClient`/:class:`ServiceConfig`/:func:`start_daemon`
+drive a daemon end to end::
+
+    from repro import api
+
+    config = api.ServiceConfig(queue_dir="fleet", port=0)
+    with api.start_daemon(config) as daemon:
+        client = api.ServiceClient(daemon.url)
+        ids = client.submit([api.JobSubmit(spec=spec) for spec in specs])
+        client.wait(ids)
+        summary = client.summary()
 """
 
 from __future__ import annotations
@@ -150,6 +167,31 @@ from repro.sim.pipeline import (
 )
 from repro.sim.pipeline import simulate as _simulate
 from repro.sim.report import format_series, format_table
+from repro.service import (
+    ClaimLost,
+    ClassSummary,
+    DaemonHandle,
+    EncodeDaemon,
+    FleetSummary,
+    JobQueue,
+    JobStatus,
+    JobSubmit,
+    QueueFull,
+    ServiceBusy,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceManifest,
+    SessionResult,
+    WireFormatError,
+    job_spec_from_json,
+    job_spec_to_json,
+    load_service_manifest,
+    percentile,
+    serve,
+    session_result_digest,
+    start_daemon,
+)
 from repro.sim.runner import (
     EncodedStreamCache,
     GridManifest,
@@ -159,6 +201,7 @@ from repro.sim.runner import (
     ManifestEntry,
     ResultCache,
     RetryPolicy,
+    RunnerOptions,
     build_grid,
     encode_content_hash,
     encode_stream_key,
@@ -457,12 +500,37 @@ __all__ = [
     "ResultCache",
     "EncodedStreamCache",
     "RetryPolicy",
+    "RunnerOptions",
     "build_grid",
     "run_grid",
     "GridManifest",
     "ManifestEntry",
     "grid_manifest",
     "load_manifest",
+    # streaming session service (daemon + versioned job API)
+    "JobSubmit",
+    "JobStatus",
+    "SessionResult",
+    "ClassSummary",
+    "FleetSummary",
+    "ServiceManifest",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceBusy",
+    "EncodeDaemon",
+    "DaemonHandle",
+    "JobQueue",
+    "QueueFull",
+    "ClaimLost",
+    "WireFormatError",
+    "serve",
+    "start_daemon",
+    "job_spec_to_json",
+    "job_spec_from_json",
+    "session_result_digest",
+    "load_service_manifest",
+    "percentile",
     # fault injection
     "FaultPlan",
     "FaultSpec",

@@ -12,6 +12,19 @@ Commands:
 * ``trace`` — render the per-stage time/energy breakdown of a trace
   file written by a ``--trace`` run.
 * ``info`` — list available schemes, sequences and device profiles.
+* ``serve`` — run the long-lived encode daemon (HTTP+JSONL job API).
+* ``submit`` — enqueue sessions on a running daemon.
+* ``status`` — fleet summary or per-job status from a daemon (or,
+  offline, from a queue journal file).
+* ``drain`` — stop a daemon accepting jobs and let it finish.
+
+The runner flags shared by ``compare``/``sweep``/``serve``
+(``--jobs``, ``--no-cache``, ``--cache-dir``, ``--faults``,
+``--retries``, ``--job-timeout``, ``--manifest``,
+``--no-stream-cache``) all resolve into one
+:class:`repro.sim.runner.RunnerOptions` bundle, so the execution
+semantics are identical whether a grid runs batch or behind the
+daemon.
 
 ``simulate``, ``compare`` and ``sweep`` accept ``--trace`` (and
 ``--trace-dir DIR``, which implies it): the run executes under a
@@ -39,18 +52,16 @@ from repro.obs import (
     write_trace,
 )
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
+from repro.service.daemon import DEFAULT_PORT as SERVICE_DEFAULT_PORT
 from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
 from repro.sim.pipeline import SimulationConfig, simulate
 from repro.sim.report import format_table
 from repro.sim.runner import (
     DEFAULT_CACHE_DIR,
-    EncodedStreamCache,
     JobFailure,
     JobResult,
     JobSpec,
-    ResultCache,
-    RetryPolicy,
-    run_grid,
+    RunnerOptions,
 )
 from repro.video.synthetic import SEQUENCE_GENERATORS
 
@@ -192,35 +203,43 @@ def _print_trace_report(trace_file: Optional[Path], args) -> None:
     print(f"trace written to {trace_file}")
 
 
-def _runner_setup(args: argparse.Namespace):
-    """(max_workers, cache, trace_dir, stream_cache) from runner options."""
-    if args.jobs < 0:
-        raise SystemExit("--jobs must be >= 0")
-    max_workers = None if args.jobs == 0 else args.jobs
-    trace_dir = _trace_dir(args)
-    if args.no_cache:
-        cache = None
-    else:
-        try:
-            cache = ResultCache(args.cache_dir)
-        except (FileExistsError, NotADirectoryError):
-            raise SystemExit(
-                f"--cache-dir {args.cache_dir!r} exists and is not a directory"
-            )
-    if args.no_stream_cache:
-        stream_cache = None
-    else:
-        # Streams live beside the result cache so one --cache-dir wipes
-        # both; memory-only when --no-cache (still shares within a run).
-        stream_cache = EncodedStreamCache(
-            cache.directory / "streams" if cache is not None else None
+def _runner_options(args: argparse.Namespace) -> RunnerOptions:
+    """Resolve the shared runner flags into one options bundle."""
+    try:
+        return RunnerOptions(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            share_streams=not args.no_stream_cache,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            manifest_path=getattr(args, "manifest", None),
+            faults=_fault_plan(args),
+            trace_dir=_trace_dir(args) if hasattr(args, "trace") else None,
         )
-    return max_workers, cache, trace_dir, stream_cache
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
-def _grid_results(args, jobs, max_workers, cache, trace_dir=None,
-                  stream_cache=None):
-    """Run a grid and unwrap it.
+def _runner_setup(args: argparse.Namespace):
+    """(options, cache, stream_cache) from the shared runner flags.
+
+    The caches are built once here so calibration probes and the grid
+    run share them within one command.
+    """
+    options = _runner_options(args)
+    try:
+        cache = options.build_cache()
+    except (FileExistsError, NotADirectoryError):
+        raise SystemExit(
+            f"--cache-dir {args.cache_dir!r} exists and is not a directory"
+        )
+    stream_cache = options.build_stream_cache(cache)
+    return options, cache, stream_cache
+
+
+def _grid_results(args, jobs, options, cache, stream_cache=None):
+    """Run a grid under ``options`` and unwrap it.
 
     Without ``--manifest`` any failed cell aborts the command with exit
     status 1 (after reporting every failure).  With ``--manifest`` the
@@ -228,23 +247,7 @@ def _grid_results(args, jobs, max_workers, cache, trace_dir=None,
     manifest file, failures are reported on stderr, and failed cells
     come back as ``None`` so callers can render the surviving rows.
     """
-    if args.retries < 0:
-        raise SystemExit("--retries must be >= 0")
-    retry = (
-        RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
-    )
-    outcomes = run_grid(
-        jobs,
-        max_workers=max_workers,
-        cache=cache,
-        timeout=args.job_timeout,
-        trace_dir=trace_dir,
-        retry=retry,
-        faults=_fault_plan(args),
-        manifest_path=args.manifest,
-        stream_cache=stream_cache,
-        share_streams=not args.no_stream_cache,
-    )
+    outcomes = options.run(jobs, cache=cache, stream_cache=stream_cache)
     failures = [o for o in outcomes if isinstance(o, JobFailure)]
     for failure in failures:
         quarantined = " [quarantined]" if failure.quarantined else ""
@@ -334,7 +337,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache, trace_dir, stream_cache = _runner_setup(args)
+    options, cache, stream_cache = _runner_setup(args)
     print("Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
           file=sys.stderr)
     target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
@@ -364,7 +367,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for spec, result in zip(
         schemes,
-        _grid_results(args, jobs, max_workers, cache, trace_dir, stream_cache),
+        _grid_results(args, jobs, options, cache, stream_cache),
     ):
         if result is None:
             continue
@@ -388,15 +391,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ),
         )
     )
-    if trace_dir is not None:
-        _print_trace_report(trace_dir / MERGED_TRACE_NAME, args)
+    if options.trace_dir is not None:
+        _print_trace_report(Path(options.trace_dir) / MERGED_TRACE_NAME, args)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
-    max_workers, cache, trace_dir, stream_cache = _runner_setup(args)
+    options, cache, stream_cache = _runner_setup(args)
     thresholds = (0.0, 0.5, 0.8, 0.9, 0.95, 1.0)
     jobs = [
         JobSpec(
@@ -413,7 +416,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for th, result in zip(
         thresholds,
-        _grid_results(args, jobs, max_workers, cache, trace_dir, stream_cache),
+        _grid_results(args, jobs, options, cache, stream_cache),
     ):
         if result is None:
             continue
@@ -438,8 +441,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
-    if trace_dir is not None:
-        _print_trace_report(trace_dir / MERGED_TRACE_NAME, args)
+    if options.trace_dir is not None:
+        _print_trace_report(Path(options.trace_dir) / MERGED_TRACE_NAME, args)
     return 0
 
 
@@ -477,10 +480,313 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         trace = load_trace(Path(args.trace_file))
     except FileNotFoundError:
         raise SystemExit(f"no such trace file: {args.trace_file}")
+    except IsADirectoryError:
+        raise SystemExit(
+            f"{args.trace_file} is a directory, not a trace file "
+            f"(did you mean {Path(args.trace_file) / MERGED_TRACE_NAME}?)"
+        )
     except TraceFormatError as error:
         raise SystemExit(f"not a trace file: {args.trace_file}: {error}")
+    if not trace.spans and not trace.events:
+        raise SystemExit(
+            f"trace file {args.trace_file} is empty (no spans or events); "
+            "was the run traced with --trace?"
+        )
     print(trace_summary(trace, DEVICE_PROFILES[args.device]))
     return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _service_error(error: Exception) -> "SystemExit":
+    return SystemExit(f"service error: {error}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    options = _runner_options(args)
+    try:
+        config = ServiceConfig(
+            queue_dir=args.queue_dir,
+            host=args.host,
+            port=args.port,
+            runner=options,
+            service_workers=args.service_workers,
+            batch_size=args.batch_size,
+            max_pending=args.max_pending,
+            lease_s=args.lease,
+            max_fails=args.max_fails,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(
+        f"repro service: queue={config.queue_dir} "
+        f"listening on http://{config.host}:{config.port or '<ephemeral>'}",
+        file=sys.stderr,
+    )
+    try:
+        manifest = serve(config)
+    except KeyboardInterrupt:
+        print("interrupted; queue state is durable — rerun "
+              "`repro serve` with the same --queue-dir to resume",
+              file=sys.stderr)
+        return 130
+    except OSError as error:
+        raise SystemExit(f"cannot listen on {config.host}:{config.port}: "
+                         f"{error}")
+    counts = ", ".join(
+        f"{state}={n}" for state, n in sorted(manifest.counts.items())
+    ) or "no jobs"
+    print(f"service drained: {counts}", file=sys.stderr)
+    print(f"manifest written to {config.resolved_manifest_path}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobSubmit, ServiceClientError
+
+    if args.count < 1:
+        raise SystemExit("--count must be >= 1")
+    _sequence(args)  # validates --frames early, before touching the daemon
+    config = _config(args)
+    pbpair_kwargs = (
+        {"intra_th": args.intra_th}
+        if args.scheme.upper().startswith("PBPAIR")
+        else {}
+    )
+    faults = _fault_plan(args)
+    submits = [
+        JobSubmit(
+            spec=JobSpec(
+                scheme=args.scheme,
+                plr=args.plr,
+                channel_seed=args.seed + i,
+                sequence=args.sequence,
+                n_frames=args.frames,
+                config=config,
+                pbpair_kwargs=pbpair_kwargs,
+                faults=faults,
+            ),
+            priority=args.priority,
+            session_class=args.session_class,
+        )
+        for i in range(args.count)
+    ]
+    client = _client(args)
+    try:
+        job_ids = client.submit(submits)
+        for job_id in job_ids:
+            print(job_id)
+        if args.wait:
+            done = client.wait(job_ids, timeout=args.wait_timeout)
+            states = sorted(s.state for s in done.values())
+            print(
+                f"{len(done)} session(s) finished: "
+                + ", ".join(
+                    f"{state}={states.count(state)}"
+                    for state in dict.fromkeys(states)
+                ),
+                file=sys.stderr,
+            )
+            if any(not s.ok for s in done.values()):
+                return 1
+    except (ServiceClientError, TimeoutError) as error:
+        raise _service_error(error)
+    return 0
+
+
+def _format_status(status) -> str:
+    latency = (
+        f"{status.latency_s:.2f}s" if status.latency_s is not None else "-"
+    )
+    error = f"  error: {status.error}" if status.error else ""
+    return (
+        f"{status.job_id}  {status.state:<11} "
+        f"class={status.session_class} priority={status.priority} "
+        f"attempts={status.attempts} latency={latency}{error}"
+    )
+
+
+def _summary_lines(summary) -> list[str]:
+    lines = []
+    counts = ", ".join(
+        f"{state}={n}" for state, n in sorted(summary.counts.items())
+    ) or "no jobs"
+    lines.append(
+        f"sessions: {summary.sessions} ({counts}); "
+        f"queue depth {summary.queue_depth}"
+    )
+    for cls in summary.classes:
+        lat = cls.latency_s or {}
+        psnr = cls.psnr_db or {}
+
+        def _fmt(values, unit, key):
+            value = values.get(key)
+            if value is None or value != value:  # NaN-safe
+                return "-"
+            return f"{value:.2f}{unit}"
+
+        lines.append(
+            f"  {cls.session_class}: {cls.sessions} sessions "
+            f"(ok={cls.ok} cached={cls.cached} failed={cls.failed} "
+            f"quarantined={cls.quarantined}) "
+            f"latency p50/p95/p99 {_fmt(lat, 's', 'p50')}/"
+            f"{_fmt(lat, 's', 'p95')}/{_fmt(lat, 's', 'p99')} "
+            f"PSNR p50/p95/p99 {_fmt(psnr, 'dB', 'p50')}/"
+            f"{_fmt(psnr, 'dB', 'p95')}/{_fmt(psnr, 'dB', 'p99')}"
+        )
+    return lines
+
+
+def _journal_statuses(path: Path) -> list:
+    """Reconstruct the latest per-job state from a queue journal file.
+
+    Exits with a clear message on a missing, empty, or truncated
+    journal — the offline mirror of the daemon's ``GET /v1/jobs``.
+    """
+    from repro.service import JOB_STATES
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise SystemExit(f"no such journal file: {path}")
+    except IsADirectoryError:
+        raise SystemExit(
+            f"{path} is a directory; point --journal at the queue's "
+            "journal.jsonl file"
+        )
+    if not text.strip():
+        raise SystemExit(
+            f"journal file {path} is empty; has the daemon accepted "
+            "any jobs yet?"
+        )
+    import json as _json
+
+    latest: dict[str, dict] = {}
+    for index, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = _json.loads(line)
+        except _json.JSONDecodeError as error:
+            if index == len(text.splitlines()):
+                # A torn final line happens when the daemon dies
+                # mid-append; everything before it is still good.
+                print(
+                    f"warning: ignoring truncated final journal line "
+                    f"{index}",
+                    file=sys.stderr,
+                )
+                continue
+            raise SystemExit(
+                f"not a journal file: {path}: bad JSON on line "
+                f"{index}: {error}"
+            )
+        if record.get("type") == "header":
+            continue
+        if record.get("type") != "event" or "job_id" not in record:
+            raise SystemExit(
+                f"not a journal file: {path}: line {index} is not a "
+                "journal event"
+            )
+        if record.get("state") not in JOB_STATES:
+            raise SystemExit(
+                f"journal file {path} line {index} has unknown state "
+                f"{record.get('state')!r}"
+            )
+        latest[record["job_id"]] = record
+    if not latest:
+        raise SystemExit(
+            f"journal file {path} holds no job events; has the daemon "
+            "accepted any jobs yet?"
+        )
+    return list(latest.values())
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    if args.journal is not None:
+        events = _journal_statuses(Path(args.journal))
+        if args.job_id:
+            events = [e for e in events if e["job_id"] == args.job_id]
+            if not events:
+                raise SystemExit(f"no such job in journal: {args.job_id}")
+        by_state: dict[str, int] = {}
+        for event in events:
+            by_state[event["state"]] = by_state.get(event["state"], 0) + 1
+        for event in sorted(events, key=lambda e: e.get("ts", 0.0)):
+            print(
+                f"{event['job_id']}  {event['state']:<11} "
+                f"class={event.get('session_class', '?')} "
+                f"priority={event.get('priority', 0)} "
+                f"attempts={event.get('attempts', 0)}"
+            )
+        counts = ", ".join(
+            f"{state}={n}" for state, n in sorted(by_state.items())
+        )
+        print(f"{len(events)} job(s): {counts}", file=sys.stderr)
+        return 0
+    client = _client(args)
+    try:
+        if args.job_id:
+            print(_format_status(client.status(args.job_id)))
+        else:
+            for line in _summary_lines(client.summary()):
+                print(line)
+    except ServiceClientError as error:
+        raise _service_error(error)
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import ServiceClientError
+
+    client = _client(args)
+    try:
+        health = client.shutdown() if args.shutdown else client.drain()
+    except ServiceClientError as error:
+        raise _service_error(error)
+    print(
+        f"draining: {health['pending']} pending, "
+        f"{health['running']} running",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        return 0
+    # A drained daemon exits and writes its manifest, so losing the
+    # connection mid-poll is the success signal, not an error.
+    deadline = _time.monotonic() + args.wait_timeout
+    while True:
+        _time.sleep(0.2)
+        try:
+            health = client.health()
+        except ServiceClientError as error:
+            if error.status == 0:
+                print("daemon drained and exited", file=sys.stderr)
+                return 0
+            raise _service_error(error)
+        if health.get("drained"):
+            try:
+                for line in _summary_lines(client.summary()):
+                    print(line)
+            except ServiceClientError:
+                print("daemon drained and exited", file=sys.stderr)
+            return 0
+        if _time.monotonic() > deadline:
+            raise SystemExit(
+                f"queue not drained after {args.wait_timeout:g}s "
+                f"({health['pending']} pending, "
+                f"{health['running']} running)"
+            )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -562,6 +868,170 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="list schemes/sequences/devices")
     info.set_defaults(handler=_cmd_info)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived encode daemon (HTTP+JSONL API)"
+    )
+    serve.add_argument(
+        "--queue-dir",
+        default=".repro_service",
+        help="persistent job-queue directory; reopen the same directory "
+        "to resume an interrupted fleet (default: .repro_service)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default: local)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=SERVICE_DEFAULT_PORT,
+        help=f"listen port, 0 = ephemeral (default: {SERVICE_DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        help="concurrent dispatcher tasks claiming job batches "
+        "(default: 1)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="jobs claimed per dispatch; batches feed the chunked grid "
+        "pool (default: 8)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="queue backlog bound; beyond it submissions get HTTP 429 "
+        "(default: 1024)",
+    )
+    serve.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="claim lease seconds; a silent worker loses its jobs to "
+        "the reaper (default: 30)",
+    )
+    serve.add_argument(
+        "--max-fails",
+        type=int,
+        default=3,
+        help="failures before a job is quarantined (default: 3)",
+    )
+    _add_runner_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="enqueue sessions on a running daemon"
+    )
+    _add_common(submit)
+    _add_fault_options(submit)
+    submit.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",
+        help="daemon base URL (default: the local default port)",
+    )
+    submit.add_argument(
+        "--scheme",
+        default="PBPAIR",
+        help="NO, GOP-N, AIR-N, PGOP-N or PBPAIR (default: PBPAIR)",
+    )
+    submit.add_argument(
+        "--intra-th",
+        type=float,
+        default=0.92,
+        help="PBPAIR's Intra_Th (default: 0.92)",
+    )
+    submit.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="sessions to enqueue; seeds run --seed..--seed+N-1 "
+        "(default: 1)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="claim priority; higher runs first (default: 0)",
+    )
+    submit.add_argument(
+        "--session-class",
+        default="standard",
+        metavar="NAME",
+        help="fleet-reporting label percentiles group by "
+        "(default: standard)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until every submitted session is terminal "
+        "(exit 1 if any failed)",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="--wait deadline in seconds (default: 600)",
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = commands.add_parser(
+        "status",
+        help="fleet summary or one job's status from a running daemon",
+    )
+    status.add_argument(
+        "job_id",
+        nargs="?",
+        default=None,
+        help="job id to inspect (omit for the fleet summary)",
+    )
+    status.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",
+        help="daemon base URL (default: the local default port)",
+    )
+    status.add_argument(
+        "--journal",
+        default=None,
+        metavar="JSONL",
+        help="read job states offline from a queue journal file instead "
+        "of a live daemon",
+    )
+    status.set_defaults(handler=_cmd_status)
+
+    drain = commands.add_parser(
+        "drain", help="stop a daemon accepting jobs and finish the backlog"
+    )
+    drain.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",
+        help="daemon base URL (default: the local default port)",
+    )
+    drain.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="stop immediately after writing the manifest instead of "
+        "finishing the backlog",
+    )
+    drain.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the queue is drained and print the final summary",
+    )
+    drain.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="--wait deadline in seconds (default: 600)",
+    )
+    drain.set_defaults(handler=_cmd_drain)
     return parser
 
 

@@ -1,0 +1,591 @@
+"""Persistent on-disk job queue with CAS claims and lease recovery.
+
+The durability story of the streaming session service: every job the
+daemon accepts becomes a JSON file under ``<dir>/jobs/`` the moment the
+submit call returns, and every lifecycle transition rewrites that file
+atomically (tempfile + rename, the :class:`~repro.sim.runner.ResultCache`
+discipline).  Kill the daemon at any point and reopen the directory:
+nothing submitted is lost, running jobs fall back to ``pending`` when
+their leases expire, and terminal jobs stay terminal.
+
+Claiming is *compare-and-swap*, not locking: a worker claims job ``J``
+by creating ``<dir>/claims/J.claim`` with ``O_CREAT | O_EXCL`` — the
+filesystem guarantees exactly one creator wins, however many workers
+(threads *or* processes) race for the same job.  The claim file carries
+the owner and a lease deadline; a worker that crashes or hangs simply
+stops renewing its lease, and :meth:`JobQueue.release_stale` (the
+reaper) returns the job to ``pending`` — or to ``quarantined`` once its
+fail count exhausts the budget, so a poison job cannot churn the fleet
+forever.
+
+States and transitions::
+
+    submit  ->  pending  --claim-->  running  --complete-->  ok | cached
+                   ^                    |
+                   |                    +--fail/lease-expiry--+
+                   +-- fail_count < max_fails ----------------+
+                                        |
+                        fail_count >= max_fails -> quarantined
+
+Ordering: pending jobs are claimed highest-priority first, ties broken
+by submission order (a per-queue monotonic sequence number, not the
+wall clock, so equal-timestamp submissions still claim in FIFO order).
+
+Backpressure: ``submit`` raises :class:`QueueFull` once the pending
+backlog reaches ``max_pending``; the daemon maps that to HTTP 429 with
+a ``Retry-After`` derived from the recent drain rate.
+
+Every transition also lands in ``<dir>/journal.jsonl`` — an append-only
+JSONL audit stream (schema-versioned header line first) that ``repro
+status --journal`` can render without the daemon running.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Union
+
+from repro.service.wire import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    WIRE_SCHEMA_VERSION,
+    JobStatus,
+    JobSubmit,
+    WireFormatError,
+    check_schema,
+)
+
+#: File name of the append-only transition journal inside a queue dir.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class QueueFull(RuntimeError):
+    """Backpressure: the pending backlog is at ``max_pending``.
+
+    ``retry_after_s`` is the submit-again hint the daemon forwards as
+    the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ClaimLost(RuntimeError):
+    """A completion/failure report for a claim the reaper already took."""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable state (the content of ``jobs/<id>.json``)."""
+
+    job_id: str
+    submit: JobSubmit
+    state: str = "pending"
+    seq: int = 0
+    version: int = 0
+    attempts: int = 0
+    fail_count: int = 0
+    owner: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(
+                f"unknown job state {self.state!r} (known: {JOB_STATES})"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def priority(self) -> int:
+        return self.submit.priority
+
+    def status(self) -> JobStatus:
+        """The wire-format snapshot of this record."""
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            priority=self.submit.priority,
+            session_class=self.submit.session_class,
+            content_hash=self.submit.spec.content_hash(),
+            attempts=self.attempts,
+            fail_count=self.fail_count,
+            owner=self.owner,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            from_cache=self.state == "cached",
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "submit": self.submit.to_json(),
+            "state": self.state,
+            "seq": self.seq,
+            "version": self.version,
+            "attempts": self.attempts,
+            "fail_count": self.fail_count,
+            "owner": self.owner,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "JobRecord":
+        check_schema(record, "JobRecord")
+        return cls(
+            job_id=record["job_id"],
+            submit=JobSubmit.from_json(record["submit"]),
+            state=record["state"],
+            seq=int(record.get("seq", 0)),
+            version=int(record.get("version", 0)),
+            attempts=int(record.get("attempts", 0)),
+            fail_count=int(record.get("fail_count", 0)),
+            owner=record.get("owner"),
+            submitted_at=float(record.get("submitted_at", 0.0)),
+            started_at=record.get("started_at"),
+            finished_at=record.get("finished_at"),
+            error=record.get("error"),
+        )
+
+
+class JobQueue:
+    """The persistent queue; see the module docstring for the protocol.
+
+    Thread-safe within a process (one lock around scan/transition
+    sequences) and safe across processes for the operations that race
+    in practice — claims (O_EXCL), record writes (atomic rename) and
+    journal appends (``O_APPEND``).
+
+    ``clock`` is injectable so lease-expiry tests do not sleep.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_pending: int = 1024,
+        lease_s: float = 30.0,
+        max_fails: int = 3,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s}")
+        if max_fails < 1:
+            raise ValueError(f"max_fails must be >= 1, got {max_fails}")
+        self.directory = Path(directory)
+        self.jobs_dir = self.directory / "jobs"
+        self.claims_dir = self.directory / "claims"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self.max_pending = max_pending
+        self.lease_s = lease_s
+        self.max_fails = max_fails
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._journal_path = self.directory / JOURNAL_NAME
+        if not self._journal_path.exists():
+            self._append_journal(
+                {
+                    "type": "header",
+                    "schema_version": WIRE_SCHEMA_VERSION,
+                    "format": "repro-service-journal",
+                }
+            )
+        self._seq = self._recover_seq()
+        # In-memory claim index: (-priority, seq, job_id) of pending
+        # jobs, kept sorted so a claim pops the best candidate without
+        # re-reading every record.  Authoritative for the transitions
+        # this instance performs; claims raced from *other* processes
+        # are caught by the CAS + record re-read, and externally
+        # submitted jobs are picked up by the throttled rebuild below.
+        self._index_rescan_s = 0.5
+        self._last_rebuild = float("-inf")
+        self._pending_index: list[tuple[int, int, str]] = []
+        self._rebuild_index()
+
+    # -- storage primitives -------------------------------------------------
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _claim_path(self, job_id: str) -> Path:
+        return self.claims_dir / f"{job_id}.claim"
+
+    def _write_record(self, record: JobRecord) -> None:
+        path = self._job_path(record.job_id)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        tmp.write_text(
+            json.dumps(record.to_json(), separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+
+    def _read_record(self, job_id: str) -> JobRecord:
+        path = self._job_path(job_id)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise KeyError(f"no such job: {job_id}") from None
+        try:
+            return JobRecord.from_json(json.loads(text))
+        except (json.JSONDecodeError, WireFormatError, KeyError) as error:
+            raise WireFormatError(
+                f"corrupt job record {path}: {error}"
+            ) from error
+
+    def _append_journal(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def _journal_transition(self, record: JobRecord, event: str) -> None:
+        self._append_journal(
+            {
+                "type": "event",
+                "event": event,
+                "job_id": record.job_id,
+                "state": record.state,
+                "session_class": record.submit.session_class,
+                "priority": record.submit.priority,
+                "attempts": record.attempts,
+                "fail_count": record.fail_count,
+                "owner": record.owner,
+                "ts": self.clock(),
+            }
+        )
+
+    def _recover_seq(self) -> int:
+        highest = -1
+        for path in self.jobs_dir.glob("*.json"):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                highest = max(highest, int(record.get("seq", 0)))
+            except (OSError, ValueError):
+                continue
+        return highest + 1
+
+    # -- CAS primitives -----------------------------------------------------
+
+    def _try_claim_file(
+        self, job_id: str, owner: str, expires_at: float
+    ) -> bool:
+        """The compare-and-swap: exactly one O_EXCL creator wins."""
+        payload = json.dumps(
+            {"owner": owner, "expires_at": expires_at},
+            separators=(",", ":"),
+        )
+        try:
+            fd = os.open(
+                self._claim_path(job_id),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _read_claim(self, job_id: str) -> Optional[dict]:
+        try:
+            return json.loads(
+                self._claim_path(job_id).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _owns_claim(self, job_id: str, owner: str) -> bool:
+        claim = self._read_claim(job_id)
+        return claim is not None and claim.get("owner") == owner
+
+    def _release_claim(self, job_id: str) -> None:
+        self._claim_path(job_id).unlink(missing_ok=True)
+
+    # -- pending index ------------------------------------------------------
+
+    def _index_add(self, record: JobRecord) -> None:
+        bisect.insort(
+            self._pending_index, (-record.priority, record.seq, record.job_id)
+        )
+
+    def _rebuild_index(self) -> None:
+        self._pending_index = [
+            (-r.priority, r.seq, r.job_id) for r in self._pending_records()
+        ]
+        self._pending_index.sort()
+        self._last_rebuild = self.clock()
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(
+        self,
+        submit: JobSubmit,
+        job_id: Optional[str] = None,
+    ) -> JobRecord:
+        """Enqueue one job; raises :class:`QueueFull` at the backlog cap."""
+        now = self.clock()
+        with self._lock:
+            backlog = len(self._pending_index)
+            if backlog >= self.max_pending:
+                raise QueueFull(
+                    f"queue full: {backlog} pending >= "
+                    f"max_pending={self.max_pending}",
+                    retry_after_s=max(0.1, self.lease_s / 10.0),
+                )
+            record = JobRecord(
+                job_id=job_id or uuid.uuid4().hex[:16],
+                submit=submit,
+                state="pending",
+                seq=self._seq,
+                submitted_at=now,
+            )
+            if self._job_path(record.job_id).exists():
+                raise ValueError(f"duplicate job_id: {record.job_id}")
+            self._seq += 1
+            self._write_record(record)
+            self._index_add(record)
+            self._journal_transition(record, "submitted")
+            return record
+
+    def claim(self, owner: str) -> Optional[JobRecord]:
+        """Claim the best pending job for ``owner``, or None when idle."""
+        batch = self.claim_batch(owner, 1)
+        return batch[0] if batch else None
+
+    def claim_batch(self, owner: str, limit: int = 1) -> list[JobRecord]:
+        """Claim up to ``limit`` pending jobs, highest-priority first.
+
+        Races for each candidate via the O_EXCL claim file; a CAS win
+        *is* the claim.  A job whose record turns out not-pending after
+        the CAS (another process transitioned it meanwhile) releases
+        the claim and moves on — the claim file arbitrates, the record
+        confirms.  One sorted-index pass claims the whole batch, so a
+        daemon draining thousands of sessions does not re-scan the
+        directory per claim.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        now = self.clock()
+        claimed: list[JobRecord] = []
+        with self._lock:
+            if (
+                not self._pending_index
+                and now - self._last_rebuild >= self._index_rescan_s
+            ):
+                self._rebuild_index()
+            keep: list[tuple[int, int, str]] = []
+            for position, entry in enumerate(self._pending_index):
+                if len(claimed) >= limit:
+                    keep.extend(self._pending_index[position:])
+                    break
+                job_id = entry[2]
+                if not self._try_claim_file(job_id, owner, now + self.lease_s):
+                    continue  # raced and lost: drop the stale entry
+                try:
+                    current = self._read_record(job_id)
+                except (KeyError, WireFormatError):
+                    self._release_claim(job_id)
+                    continue
+                if current.state != "pending":
+                    self._release_claim(job_id)
+                    continue
+                running = replace(
+                    current,
+                    state="running",
+                    version=current.version + 1,
+                    attempts=current.attempts + 1,
+                    owner=owner,
+                    started_at=now,
+                    error=None,
+                )
+                self._write_record(running)
+                self._journal_transition(running, "claimed")
+                claimed.append(running)
+            self._pending_index = keep
+        return claimed
+
+    def heartbeat(self, job_id: str, owner: str) -> bool:
+        """Extend ``owner``'s lease; False when the claim is gone."""
+        now = self.clock()
+        with self._lock:
+            if not self._owns_claim(job_id, owner):
+                return False
+            path = self._claim_path(job_id)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(
+                    {"owner": owner, "expires_at": now + self.lease_s},
+                    separators=(",", ":"),
+                ),
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+            return True
+
+    def complete(
+        self, job_id: str, owner: str, *, from_cache: bool = False
+    ) -> JobRecord:
+        """Mark a claimed job done; raises :class:`ClaimLost` when the
+        reaper released the claim first (the job will re-run — report
+        nothing, execute-at-least-once is the queue's contract)."""
+        now = self.clock()
+        with self._lock:
+            record = self._read_record(job_id)
+            if not self._owns_claim(job_id, owner) or record.owner != owner:
+                raise ClaimLost(
+                    f"claim on {job_id} no longer held by {owner}"
+                )
+            done = replace(
+                record,
+                state="cached" if from_cache else "ok",
+                version=record.version + 1,
+                finished_at=now,
+            )
+            self._write_record(done)
+            self._release_claim(job_id)
+            self._journal_transition(done, "completed")
+            return done
+
+    def fail(self, job_id: str, owner: str, error: str) -> JobRecord:
+        """Report a claimed job's failure: requeue or quarantine."""
+        now = self.clock()
+        with self._lock:
+            record = self._read_record(job_id)
+            if not self._owns_claim(job_id, owner) or record.owner != owner:
+                raise ClaimLost(
+                    f"claim on {job_id} no longer held by {owner}"
+                )
+            failed = self._fail_locked(record, error, now)
+            self._release_claim(job_id)
+            return failed
+
+    def _fail_locked(
+        self, record: JobRecord, error: str, now: float
+    ) -> JobRecord:
+        fail_count = record.fail_count + 1
+        if fail_count >= self.max_fails:
+            failed = replace(
+                record,
+                state="quarantined",
+                version=record.version + 1,
+                fail_count=fail_count,
+                finished_at=now,
+                error=error,
+            )
+            event = "quarantined"
+        else:
+            failed = replace(
+                record,
+                state="pending",
+                version=record.version + 1,
+                fail_count=fail_count,
+                owner=None,
+                started_at=None,
+                error=error,
+            )
+            event = "requeued"
+        self._write_record(failed)
+        if failed.state == "pending":
+            self._index_add(failed)
+        self._journal_transition(failed, event)
+        return failed
+
+    def release_stale(self) -> list[str]:
+        """The reaper: release every claim whose lease expired.
+
+        A worker that hung or died without reporting stops renewing its
+        lease; its job goes back to ``pending`` (fail count +1) or to
+        ``quarantined`` when the budget is spent.  Returns the affected
+        job ids.
+        """
+        now = self.clock()
+        released = []
+        with self._lock:
+            for path in sorted(self.claims_dir.glob("*.claim")):
+                job_id = path.stem
+                claim = self._read_claim(job_id)
+                if claim is None or claim.get("expires_at", 0) > now:
+                    continue
+                try:
+                    record = self._read_record(job_id)
+                except (KeyError, WireFormatError):
+                    self._release_claim(job_id)
+                    continue
+                if record.state == "running":
+                    self._fail_locked(
+                        record,
+                        f"lease expired (worker {record.owner} silent "
+                        f"for > {self.lease_s:g}s)",
+                        now,
+                    )
+                self._release_claim(job_id)
+                released.append(job_id)
+        return released
+
+    # -- introspection ------------------------------------------------------
+
+    def _records(self) -> list[JobRecord]:
+        records = []
+        for path in self.jobs_dir.glob("*.json"):
+            try:
+                records.append(self._read_record(path.stem))
+            except (KeyError, WireFormatError):
+                continue  # a submit mid-rename; the next scan sees it
+        records.sort(key=lambda r: (r.seq, r.job_id))
+        return records
+
+    def _pending_records(self) -> list[JobRecord]:
+        pending = [r for r in self._records() if r.state == "pending"]
+        pending.sort(key=lambda r: (-r.priority, r.seq, r.job_id))
+        return pending
+
+    def get(self, job_id: str) -> JobRecord:
+        return self._read_record(job_id)
+
+    def records(self) -> list[JobRecord]:
+        """Every job record, in submission order."""
+        return self._records()
+
+    def statuses(self) -> list[JobStatus]:
+        """Wire-format snapshots of every job, in submission order."""
+        return [record.status() for record in self._records()]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._records():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return counts
+
+    def pending_count(self) -> int:
+        return sum(1 for r in self._records() if r.state == "pending")
+
+    def depth(self) -> int:
+        """Backlog the fleet still owes: pending + running."""
+        return sum(
+            1 for r in self._records() if r.state in ("pending", "running")
+        )
+
+    def drained(self) -> bool:
+        return self.depth() == 0

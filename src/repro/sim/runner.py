@@ -85,8 +85,14 @@ CACHE_SCHEMA_VERSION = 2
 STREAM_SCHEMA_VERSION = 1
 
 #: Schema version of the JSON failure manifest written by
-#: :meth:`GridManifest.write`.
-MANIFEST_SCHEMA_VERSION = 1
+#: :meth:`GridManifest.write`.  Version 2 added the explicit
+#: ``schema_version`` key and the ``counts.quarantined`` accounting;
+#: version-1 manifests remain loadable (current and v-1, the same
+#: contract the trace schema keeps).
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Manifest schema versions :meth:`GridManifest.from_json` understands.
+SUPPORTED_MANIFEST_SCHEMAS = frozenset({1, MANIFEST_SCHEMA_VERSION})
 
 #: Default on-disk cache location (overridable per call and via the CLI).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
@@ -331,6 +337,92 @@ class RetryPolicy:
         return base * (1.0 + self.jitter * u)
 
 
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Every execution knob of the grid runner, as one declarative bundle.
+
+    The CLI verbs (``compare``/``sweep``/``simulate``/``serve``/
+    ``submit``), :func:`run_grid` and the service daemon all used to
+    grow the same flag set independently (``--jobs``, ``--no-cache``,
+    ``--cache-dir``, ``--faults``, ``--retries``, ``--job-timeout``,
+    ``--manifest``, ``--no-stream-cache``).  This dataclass is the one
+    typed surface those flags resolve into: build it once, hand it to
+    :func:`run_grid` (``options=``) or to
+    :class:`repro.service.daemon.EncodeDaemon`, and the execution
+    semantics are identical everywhere.
+
+    Attributes:
+        jobs: worker process count; ``0`` means every core, ``1`` runs
+            serially in-process.
+        use_cache: keep completed cells in the on-disk result cache.
+        cache_dir: result-cache directory (streams live beside it under
+            ``<cache_dir>/streams``).
+        share_streams: encode-once stream sharing (disable to force the
+            full pipeline per cell; results are identical either way).
+        retries: extra executions for a failed cell (``0`` = fail fast).
+        job_timeout: per-job wall-clock limit in seconds, or ``None``.
+        manifest_path: where to write the :class:`GridManifest` JSON,
+            or ``None`` to skip it.
+        faults: run-level deterministic :class:`~repro.faults.FaultPlan`.
+        trace_dir: per-job trace directory, or ``None`` for no tracing.
+    """
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR
+    share_streams: bool = True
+    retries: int = 0
+    job_timeout: Optional[float] = None
+    manifest_path: Optional[Union[str, Path]] = None
+    faults: Optional[FaultPlan] = None
+    trace_dir: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be positive, got {self.job_timeout}"
+            )
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """The :func:`run_grid` ``max_workers`` value (``None`` = all)."""
+        return None if self.jobs == 0 else self.jobs
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        return (
+            RetryPolicy(max_attempts=self.retries + 1)
+            if self.retries
+            else None
+        )
+
+    def build_cache(self) -> Optional["ResultCache"]:
+        """The result cache these options describe (``None`` when off)."""
+        if not self.use_cache:
+            return None
+        return ResultCache(self.cache_dir)
+
+    def build_stream_cache(
+        self, cache: Optional["ResultCache"] = None
+    ) -> Optional["EncodedStreamCache"]:
+        """The encoded-stream cache (memory-only when caching is off)."""
+        if not self.share_streams:
+            return None
+        return EncodedStreamCache(
+            cache.directory / "streams" if cache is not None else None
+        )
+
+    def run(
+        self, jobs: Iterable["JobSpec"], **overrides: Any
+    ) -> list[Union["JobResult", "JobFailure"]]:
+        """Run a grid under these options (``run_grid`` shorthand)."""
+        return run_grid(jobs, options=self, **overrides)
+
+
 def build_grid(
     schemes: Sequence[str],
     plrs: Sequence[float],
@@ -462,8 +554,15 @@ class GridManifest:
         counts: dict[str, int] = {}
         for entry in self.entries:
             counts[entry.status] = counts.get(entry.status, 0) + 1
+        # Quarantined cells report status "failed" (schema-v1 vocabulary,
+        # kept for compatibility) but are accounted separately so an
+        # orchestrator can tell poison jobs from transient failures.
+        quarantined = sum(1 for e in self.entries if e.quarantined)
+        if quarantined:
+            counts["quarantined"] = quarantined
         return {
             "schema": MANIFEST_SCHEMA_VERSION,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
             "n_jobs": self.n_jobs,
             "complete": self.complete,
             "counts": counts,
@@ -472,11 +571,12 @@ class GridManifest:
 
     @classmethod
     def from_json(cls, record: Mapping[str, Any]) -> "GridManifest":
-        schema = record.get("schema")
-        if schema != MANIFEST_SCHEMA_VERSION:
+        schema = record.get("schema", record.get("schema_version"))
+        if schema not in SUPPORTED_MANIFEST_SCHEMAS:
+            supported = sorted(SUPPORTED_MANIFEST_SCHEMAS)
             raise ValueError(
                 f"manifest schema {schema!r} "
-                f"(this reader understands {MANIFEST_SCHEMA_VERSION})"
+                f"(this reader understands {supported})"
             )
         return cls(
             entries=tuple(
@@ -1117,12 +1217,17 @@ def run_grid(
     faults: Optional[FaultPlan] = None,
     manifest_path: Optional[Union[str, Path]] = None,
     stream_cache: Optional[EncodedStreamCache] = None,
-    share_streams: bool = True,
+    share_streams: Optional[bool] = None,
+    options: Optional[RunnerOptions] = None,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
 
     Args:
         jobs: the grid cells; results come back in the same order.
+        options: a :class:`RunnerOptions` bundle supplying defaults for
+            every other argument; any argument passed explicitly still
+            wins.  ``run_grid(jobs, options=opts)`` is the one-call form
+            the CLI verbs and the service daemon share.
         max_workers: process count; ``None`` uses every core, ``1``
             (or a single uncached job, or a platform without a working
             process pool) runs serially in this process.
@@ -1181,6 +1286,28 @@ def run_grid(
     runs keep per-job futures, since those features need to observe
     individual cells in flight.
     """
+    if options is not None:
+        if max_workers is None:
+            max_workers = options.max_workers
+        if cache is None:
+            cache = options.build_cache()
+        if timeout is None:
+            timeout = options.job_timeout
+        if trace_dir is None:
+            trace_dir = options.trace_dir
+        if retry is None:
+            retry = options.retry_policy
+        if faults is None:
+            faults = options.faults
+        if manifest_path is None:
+            manifest_path = options.manifest_path
+        if share_streams is None:
+            share_streams = options.share_streams
+        if stream_cache is None:
+            stream_cache = options.build_stream_cache(cache)
+    if share_streams is None:
+        share_streams = True
+
     specs = list(jobs)
     if faults is not None and faults:
         specs = [

@@ -148,3 +148,101 @@ class TestSigmaCommand:
         # 9 rows of 11 glyphs for QCIF.
         lines = [l for l in out.splitlines() if len(l) == 11]
         assert len(lines) >= 9
+
+
+class TestTraceCommandErrors:
+    """`repro trace` exits with a message, never a traceback."""
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "no/such/trace.jsonl"])
+        assert "no such trace file" in str(excinfo.value.code)
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "trace.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(empty)])
+        assert "empty" in str(excinfo.value.code)
+
+    def test_truncated_jsonl(self, tmp_path, capsys):
+        torn = tmp_path / "trace.jsonl"
+        torn.write_text('{"schema": 2, "trace_id": "t"}\n{"span": {"na')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(torn)])
+        assert "not a trace file" in str(excinfo.value.code)
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(tmp_path)])
+        assert "directory" in str(excinfo.value.code)
+
+
+class TestStatusCommandErrors:
+    """`repro status --journal` mirrors the trace command's robustness."""
+
+    def test_missing_journal(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", "no/such/journal.jsonl"])
+        assert "no such journal file" in str(excinfo.value.code)
+
+    def test_empty_journal(self, tmp_path, capsys):
+        empty = tmp_path / "journal.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", str(empty)])
+        assert "empty" in str(excinfo.value.code)
+
+    def test_header_only_journal(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            '{"type":"header","schema_version":1,'
+            '"format":"repro-service-journal"}\n'
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", str(path)])
+        assert "no job events" in str(excinfo.value.code)
+
+    def test_non_journal_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", str(path)])
+        assert "not a journal file" in str(excinfo.value.code)
+
+    def test_truncated_final_line_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            '{"type":"header","schema_version":1}\n'
+            '{"type":"event","event":"submitted","job_id":"a1",'
+            '"state":"pending","session_class":"standard","priority":0,'
+            '"attempts":0,"fail_count":0,"ts":1.0}\n'
+            '{"type":"event","event":"comp'  # daemon died mid-append
+        )
+        assert main(["status", "--journal", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "a1" in captured.out
+        assert "truncated final journal line" in captured.err
+
+    def test_truncated_middle_line_rejected(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            '{"type":"header","schema_version":1}\n'
+            '{"type":"event","event":"subm\n'
+            '{"type":"event","event":"submitted","job_id":"a1",'
+            '"state":"pending","ts":1.0}\n'
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", str(path)])
+        assert "bad JSON" in str(excinfo.value.code)
+
+    def test_unknown_job_id_in_journal(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            '{"type":"header","schema_version":1}\n'
+            '{"type":"event","event":"submitted","job_id":"a1",'
+            '"state":"pending","ts":1.0}\n'
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["status", "--journal", str(path), "zzz"])
+        assert "no such job in journal" in str(excinfo.value.code)
