@@ -236,7 +236,7 @@ def test_link_congestion(benchmark, sequence):
         BandwidthDeadlineLoss,
         SyntheticConfig,
         generate_sequence,
-        match_intra_th_to_size,
+        calibrate_intra_th,
         total_encoded_bytes,
     )
 
@@ -261,7 +261,7 @@ def test_link_congestion(benchmark, sequence):
 
     def run():
         target = total_encoded_bytes(steady, make_strategy("PGOP-1"))
-        intra_th = match_intra_th_to_size(
+        intra_th = calibrate_intra_th(
             steady, target, plr=PLR, max_iterations=8, tolerance=0.03
         )
         mean_kbps = target * 8 / (len(steady) / 30.0) / 1000.0

@@ -21,7 +21,7 @@ from repro.api import (
     format_series,
     format_table,
     make_strategy,
-    match_intra_th_to_size,
+    calibrate_intra_th,
     simulate,
     total_encoded_bytes,
 )
@@ -39,7 +39,7 @@ SCHEMES = ("PBPAIR", "PGOP-1", "GOP-8", "AIR-10")
 def fig6_results():
     sequence = foreman_like(n_frames=N_FRAMES)
     target = total_encoded_bytes(sequence, make_strategy("PGOP-1"))
-    intra_th = match_intra_th_to_size(
+    intra_th = calibrate_intra_th(
         sequence, target, plr=0.1, max_iterations=8, tolerance=0.03
     )
     results = {}

@@ -25,7 +25,7 @@ from repro.api import (
     UniformLoss,
     ZAURUS_SL5600,
     make_strategy,
-    match_intra_th_to_size,
+    calibrate_intra_th,
     simulate,
     total_encoded_bytes,
 )
@@ -62,7 +62,7 @@ def _calibrate_intra_th(sequence) -> float:
     threshold that overshoots once the pan starts.
     """
     target = total_encoded_bytes(sequence, make_strategy(SIZE_MATCH_TARGET))
-    return match_intra_th_to_size(
+    return calibrate_intra_th(
         sequence, target, plr=PLR, max_iterations=9, tolerance=0.02
     )
 

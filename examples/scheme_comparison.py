@@ -19,7 +19,7 @@ from repro.api import (
     UniformLoss,
     format_table,
     make_strategy,
-    match_intra_th_to_size,
+    calibrate_intra_th,
     simulate,
     total_encoded_bytes,
 )
@@ -33,7 +33,7 @@ def main(sequence_name: str = "foreman", n_frames: int = 90) -> None:
 
     print(f"Calibrating PBPAIR's Intra_Th to PGOP-3's size on {video.name} ...")
     target = total_encoded_bytes(video, make_strategy("PGOP-3"))
-    intra_th = match_intra_th_to_size(
+    intra_th = calibrate_intra_th(
         video, target, plr=PLR, max_iterations=8
     )
     print(f"  -> Intra_Th = {intra_th:.3f}")

@@ -23,12 +23,15 @@ paper-vs-measured record of every figure.
 """
 
 from repro.codec import (
+    ClosedLoopRateController,
     CodecConfig,
     Decoder,
     Encoder,
     FrameType,
     MacroblockMode,
+    RateControlConfig,
     RateController,
+    build_rate_controller,
 )
 from repro.concealment import (
     CopyConcealment,
@@ -83,8 +86,10 @@ from repro.resilience import (
     build_strategy,
 )
 from repro.sim import (
+    RateMatchSpec,
     SimulationConfig,
     SimulationResult,
+    calibrate_intra_th,
     encode_only,
     match_intra_th_to_size,
     simulate,
@@ -134,6 +139,10 @@ __all__ = [
     "FrameType",
     "MacroblockMode",
     "RateController",
+    "RateControlConfig",
+    "ClosedLoopRateController",
+    "build_rate_controller",
+    "RateMatchSpec",
     "CopyConcealment",
     "MotionRecoveryConcealment",
     "SpatialConcealment",
@@ -179,6 +188,7 @@ __all__ = [
     "simulate",
     "encode_only",
     "match_intra_th_to_size",
+    "calibrate_intra_th",
     "Frame",
     "VideoSequence",
     "foreman_like",

@@ -74,7 +74,13 @@ from repro.codec.motion import (
     candidate_sads,
 )
 from repro.codec.quant import dequantize_blocks, quantize_blocks
-from repro.codec.rate import RateController
+from repro.codec.rate import (
+    AnyRateController,
+    ClosedLoopRateController,
+    RateControlConfig,
+    RateController,
+    build_rate_controller,
+)
 from repro.codec.reference import (
     dequantize_scalar,
     diamond_search_scalar,
@@ -148,7 +154,9 @@ from repro.sim.experiment import (
     CalibrationResult,
     ExperimentResult,
     ExperimentSpec,
+    RateMatchSpec,
     ReplicationSummary,
+    calibrate_intra_th,
     match_intra_th_to_size,
     total_encoded_bytes,
 )
@@ -230,7 +238,7 @@ def simulate(
     seed: int = 1,
     config: Optional[SimulationConfig] = None,
     concealment: Optional[ConcealmentStrategy] = None,
-    rate_controller: Optional[RateController] = None,
+    rate_controller: Optional[AnyRateController] = None,
     bit_errors: Optional[BitErrorChannel] = None,
     faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
@@ -412,7 +420,13 @@ __all__ = [
     "make_strategy",
     "make_sequence",
     "match_intra_th_to_size",
+    "calibrate_intra_th",
     "total_encoded_bytes",
+    # matched-bitrate comparison and closed-loop rate control
+    "RateMatchSpec",
+    "RateControlConfig",
+    "ClosedLoopRateController",
+    "build_rate_controller",
     # phase-split pipeline (encode once, replay many channels)
     "encode_phase",
     "transmit_phase",

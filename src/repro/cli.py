@@ -5,7 +5,9 @@ Commands:
 * ``simulate`` — run one scheme over one sequence and a lossy channel,
   print the run summary.
 * ``compare`` — the paper's Figure-5 style comparison (all five
-  schemes, PBPAIR size-matched to PGOP-3).
+  schemes, PBPAIR size-matched to PGOP-3; with ``--target-kbps`` every
+  scheme instead runs under closed-loop rate control at one shared
+  bitrate, with no calibration probes).
 * ``sweep`` — the Section-4.3 (Intra_Th x PLR) operating-point table.
 * ``sigma`` — encode with PBPAIR and print the correctness matrix as
   ASCII heatmaps (the paper's ``C^k``, live).
@@ -25,6 +27,12 @@ The runner flags shared by ``compare``/``sweep``/``serve``
 :class:`repro.sim.runner.RunnerOptions` bundle, so the execution
 semantics are identical whether a grid runs batch or behind the
 daemon.
+
+``simulate``, ``compare``, ``sweep`` and ``submit`` accept
+``--target-kbps KBPS`` (and ``--rate-sensitivity X``): the encode runs
+under the closed-loop rate controller
+(:class:`repro.codec.rate.ClosedLoopRateController`) steered to that
+bitrate instead of at a fixed quantizer.
 
 ``simulate``, ``compare`` and ``sweep`` accept ``--trace`` (and
 ``--trace-dir DIR``, which implies it): the run executes under a
@@ -51,9 +59,14 @@ from repro.obs import (
     use_tracer,
     write_trace,
 )
+from repro.codec.rate import RateControlConfig, build_rate_controller
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
 from repro.service.daemon import DEFAULT_PORT as SERVICE_DEFAULT_PORT
-from repro.sim.experiment import match_intra_th_to_size, total_encoded_bytes
+from repro.sim.experiment import (
+    RateMatchSpec,
+    calibrate_intra_th,
+    total_encoded_bytes,
+)
 from repro.sim.pipeline import SimulationConfig, simulate
 from repro.sim.report import format_table
 from repro.sim.runner import (
@@ -171,6 +184,42 @@ def _fault_plan(args: argparse.Namespace):
         raise SystemExit(f"bad --faults value: {error}")
 
 
+def _add_rate_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target-kbps",
+        type=float,
+        default=None,
+        metavar="KBPS",
+        help="closed-loop rate control: steer the encode to this bitrate; "
+        "under `compare` every scheme runs at the same matched target "
+        "(default: off)",
+    )
+    parser.add_argument(
+        "--rate-sensitivity",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="rate-controller aggressiveness: fraction of the budget "
+        "debt repaid per recovery window (default: 1.0; requires "
+        "--target-kbps)",
+    )
+
+
+def _rate_config(args: argparse.Namespace) -> Optional[RateControlConfig]:
+    """The parsed rate-control flags, or None when rate control is off."""
+    if getattr(args, "target_kbps", None) is None:
+        if getattr(args, "rate_sensitivity", 1.0) != 1.0:
+            raise SystemExit("--rate-sensitivity requires --target-kbps")
+        return None
+    try:
+        return RateControlConfig(
+            target_kbps=args.target_kbps,
+            sensitivity=args.rate_sensitivity,
+        )
+    except ValueError as error:
+        raise SystemExit(f"bad rate-control flags: {error}")
+
+
 def _add_trace_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -216,6 +265,7 @@ def _runner_options(args: argparse.Namespace) -> RunnerOptions:
             manifest_path=getattr(args, "manifest", None),
             faults=_fault_plan(args),
             trace_dir=_trace_dir(args) if hasattr(args, "trace") else None,
+            rate=_rate_config(args),
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -289,6 +339,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         strategy = build_strategy(args.scheme)
     faults = _fault_plan(args)
+    rate = _rate_config(args)
+    controller = build_rate_controller(rate)
     trace_dir = _trace_dir(args)
     trace_file: Optional[Path] = None
     if trace_dir is not None:
@@ -299,6 +351,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 strategy,
                 loss_model=UniformLoss(plr=args.plr, seed=args.seed),
                 config=_config(args),
+                rate_controller=controller,
                 faults=faults,
             )
         trace_file = write_trace(trace_dir / MERGED_TRACE_NAME, tracer)
@@ -308,6 +361,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             strategy,
             loss_model=UniformLoss(plr=args.plr, seed=args.seed),
             config=_config(args),
+            rate_controller=controller,
             faults=faults,
         )
     print(f"sequence         : {video.name} ({result.n_frames} frames)")
@@ -316,6 +370,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"bad pixels       : {result.total_bad_pixels:,}")
     print(f"encoded size     : {result.total_bytes / 1024:.1f} KB")
     print(f"intra macroblocks: {100 * result.intra_fraction:.1f}%")
+    if controller is not None:
+        error_pct = (
+            100.0
+            * (controller.delivered_kbps - rate.target_kbps)
+            / rate.target_kbps
+        )
+        print(
+            f"delivered bitrate: {controller.delivered_kbps:.1f} kbps "
+            f"(target {rate.target_kbps:g}, {error_pct:+.1f}%)"
+        )
     print(f"encoding energy  : {result.energy_joules:.3f} J "
           f"({result.energy.device})")
     print(f"packets lost     : {len(result.channel_log.lost_packets)}"
@@ -338,10 +402,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     video = _sequence(args)
     config = _config(args)
     options, cache, stream_cache = _runner_setup(args)
+    rate = _rate_config(args)
+    if rate is not None:
+        return _compare_matched_bitrate(
+            args, video, config, options, cache, stream_cache
+        )
     print("Calibrating PBPAIR's Intra_Th to PGOP-3's size ...",
           file=sys.stderr)
     target = total_encoded_bytes(video, build_strategy("PGOP-3"), config)
-    intra_th = match_intra_th_to_size(
+    intra_th = calibrate_intra_th(
         video, target, plr=args.plr, config=config, max_iterations=8,
         cache=cache, stream_cache=stream_cache,
     )
@@ -388,6 +457,66 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=(
                 f"{video.name}, {args.frames} frames, PLR={args.plr:.0%}, "
                 f"PBPAIR Intra_Th={intra_th:.3f}"
+            ),
+        )
+    )
+    if options.trace_dir is not None:
+        _print_trace_report(Path(options.trace_dir) / MERGED_TRACE_NAME, args)
+    return 0
+
+
+def _compare_matched_bitrate(
+    args, video, config, options, cache, stream_cache
+) -> int:
+    """``compare --target-kbps``: every scheme at one bitrate, no probes.
+
+    The closed-loop controller replaces the calibration bisection
+    entirely — each scheme encodes once, steered to the shared target,
+    and the table reports how precisely it was hit.
+    """
+    match = RateMatchSpec(
+        target_kbps=args.target_kbps, sensitivity=args.rate_sensitivity
+    )
+    rate = match.rate_config()
+    jobs = match.jobs(
+        plr=args.plr,
+        channel_seed=args.seed,
+        sequence=args.sequence,
+        n_frames=args.frames,
+        config=config,
+    )
+    rows = []
+    for spec, result in zip(
+        match.schemes,
+        _grid_results(args, jobs, options, cache, stream_cache),
+    ):
+        if result is None:
+            continue
+        delivered_kbps = (
+            result.total_bytes * 8 / result.n_frames * rate.fps / 1000.0
+        )
+        error_pct = (
+            100.0 * (delivered_kbps - rate.target_kbps) / rate.target_kbps
+        )
+        rows.append(
+            [
+                spec,
+                result.average_psnr_decoder,
+                result.total_bad_pixels / 1e6,
+                delivered_kbps,
+                error_pct,
+                result.energy_joules,
+                100 * result.intra_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "PSNR dB", "bad px M", "kbps", "err %", "energy J",
+             "intra %"],
+            rows,
+            title=(
+                f"{video.name}, {args.frames} frames, PLR={args.plr:.0%}, "
+                f"matched bitrate {rate.target_kbps:g} kbps"
             ),
         )
     )
@@ -561,6 +690,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         else {}
     )
     faults = _fault_plan(args)
+    rate = _rate_config(args)
     submits = [
         JobSubmit(
             spec=JobSpec(
@@ -572,6 +702,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 config=config,
                 pbpair_kwargs=pbpair_kwargs,
                 faults=faults,
+                rate=rate,
             ),
             priority=args.priority,
             session_class=args.session_class,
@@ -823,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="PBPAIR's Intra_Th (default: 0.92)",
     )
     _add_fault_options(sim)
+    _add_rate_options(sim)
     _add_trace_options(sim)
     sim.set_defaults(handler=_cmd_simulate)
 
@@ -831,6 +963,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(compare)
     _add_runner_options(compare)
+    _add_rate_options(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     sweep = commands.add_parser(
@@ -838,6 +971,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(sweep)
     _add_runner_options(sweep)
+    _add_rate_options(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     sigma = commands.add_parser(
@@ -930,6 +1064,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(submit)
     _add_fault_options(submit)
+    _add_rate_options(submit)
     submit.add_argument(
         "--url",
         default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",

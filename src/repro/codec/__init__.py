@@ -23,7 +23,12 @@ from repro.codec.types import (
     FrameEncodeStats,
 )
 from repro.codec.encoder import Encoder
-from repro.codec.rate import RateController
+from repro.codec.rate import (
+    ClosedLoopRateController,
+    RateControlConfig,
+    RateController,
+    build_rate_controller,
+)
 from repro.codec.decoder import Decoder, DecodeResult
 from repro.codec.bitstream import BitReader, BitWriter, BitstreamError
 from repro.codec.motion import (
@@ -49,6 +54,9 @@ __all__ = [
     "FrameEncodeStats",
     "Encoder",
     "RateController",
+    "RateControlConfig",
+    "ClosedLoopRateController",
+    "build_rate_controller",
     "Decoder",
     "DecodeResult",
     "BitReader",

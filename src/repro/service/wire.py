@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence, Union
 
+from repro.codec.rate import RateControlConfig
 from repro.faults import FaultPlan
 from repro.sim.pipeline import SimulationConfig, SimulationResult
 from repro.sim.runner import JobSpec
@@ -52,7 +53,9 @@ from repro.video.synthetic import SyntheticConfig
 #: Version stamped on every wire record this module writes.  Bump on
 #: incompatible layout changes; readers keep accepting the previous
 #: version (see :data:`SUPPORTED_WIRE_SCHEMAS`).
-WIRE_SCHEMA_VERSION = 1
+#: Version 2: JobSpec records carry an optional ``rate`` (closed-loop
+#: rate control config); v1 records parse with ``rate=None``.
+WIRE_SCHEMA_VERSION = 2
 
 #: Wire schema versions the ``from_json`` readers understand: the
 #: current version and, once one exists, the version before it.
@@ -156,6 +159,7 @@ def job_spec_to_json(spec: JobSpec) -> dict:
         "config": _config_to_json(spec.config),
         "pbpair_kwargs": dict(spec.pbpair_kwargs),
         "faults": spec.faults.to_json() if spec.faults is not None else None,
+        "rate": _flat_to_json(spec.rate),
     }
 
 
@@ -173,6 +177,7 @@ def job_spec_from_json(record: Mapping[str, Any]) -> JobSpec:
         config=_config_from_json(record.get("config")),
         pbpair_kwargs=dict(record.get("pbpair_kwargs", {})),
         faults=FaultPlan.from_json(faults) if faults is not None else None,
+        rate=_flat_from_json(RateControlConfig, record.get("rate")),
     )
 
 

@@ -23,10 +23,12 @@ from repro.sim.experiment import (
     CalibrationResult,
     ExperimentSpec,
     ExperimentResult,
+    RateMatchSpec,
     ReplicationSummary,
     run_experiment,
     sweep,
     replicate,
+    calibrate_intra_th,
     match_intra_th_to_size,
 )
 from repro.sim.runner import (
@@ -70,8 +72,10 @@ __all__ = [
     "CalibrationResult",
     "ExperimentSpec",
     "ExperimentResult",
+    "RateMatchSpec",
     "run_experiment",
     "sweep",
+    "calibrate_intra_th",
     "match_intra_th_to_size",
     "ReplicationSummary",
     "replicate",

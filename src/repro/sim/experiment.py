@@ -3,16 +3,25 @@
 The paper's comparisons are run at *matched compression ratio*: "We
 choose Intra_Th that gives similar compression ratio with PGOP-3, GOP-3,
 and AIR-24" (Figure 5) and schemes "that generate a similar size of
-encoded bitstream" (Figure 6).  :func:`match_intra_th_to_size` finds
-that ``Intra_Th`` by bisection — the intra-macroblock count, and with it
-the encoded size, grows monotonically with the threshold.
+encoded bitstream" (Figure 6).  Two ways to get there:
+
+* :class:`RateMatchSpec` — the first-class path: every scheme encodes
+  under the same closed-loop :class:`~repro.codec.rate.RateControlConfig`
+  and the controller *drives* each one to the target bitrate in a
+  single pass.  No probing, no bisection.
+* :func:`calibrate_intra_th` — the legacy offline path: find the
+  ``Intra_Th`` whose encoded size matches a reference by bisection (the
+  intra-macroblock count, and with it the encoded size, grows
+  monotonically with the threshold).  Kept for matched-*size* studies;
+  its old name, :func:`match_intra_th_to_size`, is a deprecated alias.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.pbpair import PBPAIRConfig
 from repro.network.loss import LossModel
@@ -26,8 +35,10 @@ from repro.sim.pipeline import (
     encode_phase,
     simulate,
 )
+from repro.codec.rate import RateControlConfig
 from repro.sim.runner import (
     EncodedStreamCache,
+    JobSpec,
     ResultCache,
     encode_stream_key,
     run_simulations,
@@ -149,7 +160,7 @@ class CalibrationResult(float):
         return self.probes - self.unique_encodes
 
 
-def match_intra_th_to_size(
+def calibrate_intra_th(
     sequence: VideoSequence,
     target_bytes: int,
     plr: float,
@@ -262,6 +273,108 @@ def match_intra_th_to_size(
         unique_encodes=stats["encodes"],
         cache_hits=stats["hits"],
     )
+
+
+def match_intra_th_to_size(*args: Any, **kwargs: Any) -> CalibrationResult:
+    """Deprecated alias of :func:`calibrate_intra_th`.
+
+    .. deprecated::
+        Matched-*bitrate* comparisons no longer probe at all — build a
+        :class:`RateMatchSpec` (or pass ``--target-kbps`` to the CLI)
+        and the closed-loop controller drives every scheme to the
+        target in one pass.  For the remaining matched-*size* studies,
+        call :func:`calibrate_intra_th`; it is the same bisection with
+        the same signature and the same :class:`CalibrationResult`
+        return.  This alias will be removed in a future release.
+    """
+    warnings.warn(
+        "match_intra_th_to_size is deprecated: use RateMatchSpec / "
+        "--target-kbps for matched-bitrate comparisons, or "
+        "calibrate_intra_th for matched-size calibration",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return calibrate_intra_th(*args, **kwargs)
+
+
+@dataclass(frozen=True)
+class RateMatchSpec:
+    """A matched-bitrate comparison: every scheme, one kbps target.
+
+    The first-class replacement for the ``match_intra_th_to_size``
+    probe loop on the Figure 5/6 path: instead of bisecting PBPAIR's
+    ``Intra_Th`` until its file size matches a reference encode, every
+    scheme carries the same closed-loop
+    :class:`~repro.codec.rate.RateControlConfig` and the controller
+    steers each one to the target bitrate *while encoding*.  Zero
+    probe encodes; fairness by construction.
+
+    Attributes:
+        target_kbps: the shared bitrate target.  Must sit inside every
+            scheme's feasible band — intra-heavy schemes (GOP, AIR)
+            have a bitrate floor at QP 31 that a too-low target cannot
+            get under.
+        schemes: figure-style scheme specs to compare.
+        fps: frame rate the target divides by.
+        sensitivity: controller aggressiveness (see
+            :class:`~repro.codec.rate.RateControlConfig`).
+        base_qp: first-frame quantizer for every scheme.
+    """
+
+    target_kbps: float
+    schemes: tuple[str, ...] = ("NO", "GOP-3", "AIR-24", "PGOP-3", "PBPAIR")
+    fps: float = 30.0
+    sensitivity: float = 1.0
+    base_qp: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("need at least one scheme")
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        # Delegate numeric validation to the config itself.
+        self.rate_config()
+
+    def rate_config(self) -> RateControlConfig:
+        """The one rate-control config every scheme encodes under."""
+        return RateControlConfig(
+            target_kbps=self.target_kbps,
+            fps=self.fps,
+            sensitivity=self.sensitivity,
+            base_qp=self.base_qp,
+        )
+
+    def jobs(
+        self,
+        *,
+        plr: float,
+        channel_seed: int = 0,
+        sequence: str = "foreman",
+        n_frames: int = 90,
+        config: Optional[SimulationConfig] = None,
+        pbpair_kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> list[JobSpec]:
+        """One rate-controlled :class:`JobSpec` per scheme, in order.
+
+        Ready for :func:`repro.sim.runner.run_grid`: every cell shares
+        the channel conditions and the rate config, so the grid *is*
+        the matched-bitrate comparison.
+        """
+        rate = self.rate_config()
+        return [
+            JobSpec(
+                scheme=scheme,
+                plr=plr,
+                channel_seed=channel_seed,
+                sequence=sequence,
+                n_frames=n_frames,
+                config=config or SimulationConfig(),
+                pbpair_kwargs=dict(pbpair_kwargs or {})
+                if scheme.upper().startswith("PBPAIR")
+                else {},
+                rate=rate,
+            )
+            for scheme in self.schemes
+        ]
 
 
 @dataclass(frozen=True)

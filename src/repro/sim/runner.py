@@ -59,6 +59,7 @@ from repro.faults import FaultInjector, FaultPlan, encode_subplan
 from repro.faults.inject import InjectedWorkerCrash
 from repro.network.loss import UniformLoss
 from repro.obs import Tracer, get_tracer, merge_job_traces, use_tracer, write_trace
+from repro.codec.rate import RateControlConfig, build_rate_controller
 from repro.resilience.registry import build_strategy, strategy_to_spec
 from repro.sim.pipeline import (
     EncodedStream,
@@ -78,11 +79,14 @@ from repro.video.synthetic import (
 #: Bumped whenever the simulation pipeline changes in a way that makes
 #: previously cached results stale (new metrics, changed semantics).
 #: Version 2: FrameRecord.damaged_fragments + SimulationResult.fault_events.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3: JobSpec.rate (closed-loop rate control) joins the key.
+CACHE_SCHEMA_VERSION = 3
 
 #: Schema of the :class:`~repro.sim.pipeline.EncodedStream` pickles held
 #: by :class:`EncodedStreamCache`; part of every encode cache key.
-STREAM_SCHEMA_VERSION = 1
+#: Version 2: the rate-control config joins the key (a controller
+#: changes every frame's QP, and therefore the stream bytes).
+STREAM_SCHEMA_VERSION = 2
 
 #: Schema version of the JSON failure manifest written by
 #: :meth:`GridManifest.write`.  Version 2 added the explicit
@@ -146,7 +150,7 @@ def sequence_digest(sequence: VideoSequence) -> str:
 
     Used when the caller holds a :class:`VideoSequence` object rather
     than a (name, n_frames) description — e.g. the calibration loop of
-    :func:`repro.sim.experiment.match_intra_th_to_size`.
+    :func:`repro.sim.experiment.calibrate_intra_th`.
     """
     digest = hashlib.sha256()
     digest.update(sequence.name.encode("utf-8"))
@@ -199,6 +203,11 @@ class JobSpec:
             (and change the result, so the plan is part of the cache
             key); runner-stage faults afflict the worker executing the
             job.
+        rate: optional :class:`repro.codec.rate.RateControlConfig`.
+            When set, the worker builds a fresh closed-loop controller
+            for the job, so every frame's QP (and the stream bytes)
+            chases the configured kbps target — part of both the result
+            and the stream cache keys.
     """
 
     scheme: str
@@ -211,6 +220,7 @@ class JobSpec:
     config: SimulationConfig = field(default_factory=SimulationConfig)
     pbpair_kwargs: Mapping[str, Any] = field(default_factory=dict)
     faults: Optional[FaultPlan] = None
+    rate: Optional[RateControlConfig] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.plr <= 1.0:
@@ -247,6 +257,7 @@ class JobSpec:
                 "config": self.config,
                 "pbpair_kwargs": self.pbpair_kwargs,
                 "faults": self.faults,
+                "rate": self.rate,
             }
         )
 
@@ -365,6 +376,10 @@ class RunnerOptions:
             or ``None`` to skip it.
         faults: run-level deterministic :class:`~repro.faults.FaultPlan`.
         trace_dir: per-job trace directory, or ``None`` for no tracing.
+        rate: run-level :class:`~repro.codec.rate.RateControlConfig`
+            applied to every spec that does not carry its own — the
+            matched-bitrate switch: one config, every scheme encodes
+            toward the same kbps target.
     """
 
     jobs: int = 1
@@ -376,6 +391,7 @@ class RunnerOptions:
     manifest_path: Optional[Union[str, Path]] = None
     faults: Optional[FaultPlan] = None
     trace_dir: Optional[Union[str, Path]] = None
+    rate: Optional[RateControlConfig] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -840,6 +856,7 @@ def encode_stream_key(
     strategy_kwargs: Mapping[str, Any],
     config: SimulationConfig,
     encode_faults: Optional[FaultPlan] = None,
+    rate: Optional[RateControlConfig] = None,
 ) -> str:
     """Stable cache key for one :func:`~repro.sim.pipeline.encode_phase`.
 
@@ -848,7 +865,8 @@ def encode_stream_key(
     different clips never collide.  The key covers exactly what can
     change the stream bytes: source pixels, resolved strategy (scheme
     plus its kwargs — for PBPAIR that includes the assumed ``plr``),
-    codec parameters, MTU, and the encode-stage fault sub-plan.
+    codec parameters, MTU, the encode-stage fault sub-plan, and the
+    rate-control config (a controller rewrites every frame's QP).
     Channel seed/PLR/granularity, the device energy profile and the
     bad-pixel threshold are transmit-side and deliberately absent —
     that absence *is* the sharing.
@@ -863,6 +881,7 @@ def encode_stream_key(
             "codec": config.codec,
             "mtu": config.mtu,
             "encode_faults": encode_faults,
+            "rate": rate,
         }
     )
 
@@ -900,6 +919,7 @@ def encode_content_hash(spec: "JobSpec") -> str:
         strategy_kwargs=_strategy_kwargs_for(spec),
         config=spec.config,
         encode_faults=encode_subplan(spec.faults),
+        rate=spec.rate,
     )
 
 
@@ -949,6 +969,7 @@ def run_job(
             strategy,
             loss_model=loss_model,
             config=spec.config,
+            rate_controller=build_rate_controller(spec.rate),
             faults=spec.faults,
         )
 
@@ -957,7 +978,15 @@ def run_job(
         key = encode_content_hash(spec)
         stream, reused = stream_cache.get_or_encode(
             key,
-            lambda: encode_phase(sequence, strategy, config=spec.config),
+            # A fresh controller per encode: its state is a pure
+            # function of the frames it observes, which keeps the
+            # encode deterministic and therefore cacheable.
+            lambda: encode_phase(
+                sequence,
+                strategy,
+                config=spec.config,
+                rate_controller=build_rate_controller(spec.rate),
+            ),
         )
         if reused and tracer.enabled:
             tracer.event(
@@ -1218,6 +1247,7 @@ def run_grid(
     manifest_path: Optional[Union[str, Path]] = None,
     stream_cache: Optional[EncodedStreamCache] = None,
     share_streams: Optional[bool] = None,
+    rate: Optional[RateControlConfig] = None,
     options: Optional[RunnerOptions] = None,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
@@ -1272,6 +1302,11 @@ def run_grid(
             changes values — cells that differ only in channel
             conditions replay one byte-identical stream; cells whose
             fault plans corrupt the encode stage opt out on their own.
+        rate: run-level :class:`~repro.codec.rate.RateControlConfig`
+            applied to every spec that does not already carry its own
+            (a spec-level config wins — it is part of the cache key).
+            This is the matched-bitrate switch: one config, every
+            scheme chases the same kbps target.
 
     Returns:
         One :class:`JobResult` or :class:`JobFailure` per input spec,
@@ -1305,6 +1340,8 @@ def run_grid(
             share_streams = options.share_streams
         if stream_cache is None:
             stream_cache = options.build_stream_cache(cache)
+        if rate is None:
+            rate = options.rate
     if share_streams is None:
         share_streams = True
 
@@ -1313,6 +1350,12 @@ def run_grid(
         specs = [
             spec if spec.faults is not None
             else dataclasses.replace(spec, faults=faults)
+            for spec in specs
+        ]
+    if rate is not None:
+        specs = [
+            spec if spec.rate is not None
+            else dataclasses.replace(spec, rate=rate)
             for spec in specs
         ]
     retry = retry or RetryPolicy()

@@ -139,6 +139,55 @@ class TestCommands:
         assert parallel == serial
 
 
+class TestRateControlFlags:
+    def test_simulate_reports_delivered_bitrate(self, capsys):
+        code = main(
+            ["simulate", "--frames", "8", "--scheme", "NO",
+             "--target-kbps", "400"]
+        )
+        assert code == 0
+        assert "delivered bitrate" in capsys.readouterr().out
+
+    def test_compare_matched_bitrate_skips_calibration(self, capsys):
+        code = main(
+            ["compare", "--frames", "8", "--sequence", "akiyo",
+             "--target-kbps", "400", "--no-cache"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Calibrating" not in captured.err  # zero bisection probes
+        assert "matched bitrate 400 kbps" in captured.out
+        for column in ("kbps", "err %"):
+            assert column in captured.out
+        for scheme in ("NO", "PBPAIR", "PGOP-3", "GOP-3", "AIR-24"):
+            assert scheme in captured.out
+
+    def test_sweep_accepts_target_kbps(self, capsys):
+        code = main(
+            ["sweep", "--frames", "6", "--sequence", "akiyo",
+             "--target-kbps", "400", "--no-cache"]
+        )
+        assert code == 0
+        assert "PBPAIR operating points" in capsys.readouterr().out
+
+    def test_nonpositive_target_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--frames", "4", "--target-kbps", "0"])
+        with pytest.raises(SystemExit):
+            main(["compare", "--frames", "4", "--target-kbps", "-100"])
+
+    def test_sensitivity_without_target_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--frames", "4", "--rate-sensitivity", "2.0"])
+
+    def test_bad_sensitivity_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "--frames", "4", "--target-kbps", "400",
+                 "--rate-sensitivity", "0"]
+            )
+
+
 class TestSigmaCommand:
     def test_sigma_prints_heatmaps(self, capsys):
         assert main(["sigma", "--frames", "8", "--sequence", "akiyo"]) == 0

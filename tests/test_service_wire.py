@@ -7,6 +7,7 @@ import math
 
 import pytest
 
+from repro.codec.rate import RateControlConfig
 from repro.faults import FaultPlan, FaultSpec
 from repro.service.wire import (
     SUPPORTED_WIRE_SCHEMAS,
@@ -150,6 +151,25 @@ class TestJobSpecRoundTrip:
     def test_wire_rendering_is_json_serializable(self):
         text = json.dumps(job_spec_to_json(tiny_spec()))
         assert job_spec_from_json(json.loads(text)) == tiny_spec()
+
+    def test_spec_with_rate_config(self):
+        spec = tiny_spec(
+            rate=RateControlConfig(target_kbps=200.0, sensitivity=0.5)
+        )
+        record = job_spec_to_json(spec)
+        assert record["rate"]["target_kbps"] == 200.0
+        rebuilt = job_spec_from_json(record)
+        assert rebuilt == spec
+        assert rebuilt.rate == spec.rate
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_v1_record_without_rate_still_parses(self):
+        record = job_spec_to_json(tiny_spec())
+        del record["rate"]  # a schema-1 sender never wrote the key
+        record["schema"] = 1
+        rebuilt = job_spec_from_json(record)
+        assert rebuilt.rate is None
+        assert rebuilt == tiny_spec()
 
 
 class TestJobSubmitAndStatus:
