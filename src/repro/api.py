@@ -130,12 +130,15 @@ from repro.network.link import BandwidthDeadlineLoss
 from repro.network.loss import (
     GilbertElliottLoss,
     LossModel,
+    MarkovBurstLoss,
     NoLoss,
     ScriptedLoss,
     TraceLoss,
     UniformLoss,
+    structural_rng,
 )
 from repro.network.packet import Depacketizer, Packetizer
+from repro.network.protection import ResilienceWrapper, xor_parity_payload
 from repro.obs import (
     MetricsRegistry,
     TraceData,
@@ -199,6 +202,30 @@ from repro.service import (
     serve,
     session_result_digest,
     start_daemon,
+)
+from repro.scenarios import (
+    FLEET_COLUMNS,
+    FLEET_SCHEMES,
+    LOSS_KINDS,
+    RECOVERY_DIP_DB,
+    SCENARIO_SCHEMA_VERSION,
+    FleetCell,
+    FleetReport,
+    LossSpec,
+    ResilienceSpec,
+    ScenarioChannel,
+    ScenarioFormatError,
+    ScenarioPack,
+    ScenarioSegment,
+    available_packs,
+    build_cell,
+    fleet_jobs,
+    load_pack,
+    parse_scenario,
+    recovery_summary,
+    run_fleet,
+    segment_seed,
+    write_pack,
 )
 from repro.sim.runner import (
     EncodedStreamCache,
@@ -482,8 +509,35 @@ __all__ = [
     "ScriptedLoss",
     "TraceLoss",
     "GilbertElliottLoss",
+    "MarkovBurstLoss",
     "BandwidthDeadlineLoss",
     "BitErrorChannel",
+    "ResilienceWrapper",
+    "xor_parity_payload",
+    "structural_rng",
+    # scenario packs and the fleet sweep
+    "SCENARIO_SCHEMA_VERSION",
+    "LOSS_KINDS",
+    "ScenarioPack",
+    "ScenarioSegment",
+    "LossSpec",
+    "ResilienceSpec",
+    "ScenarioFormatError",
+    "ScenarioChannel",
+    "segment_seed",
+    "available_packs",
+    "load_pack",
+    "parse_scenario",
+    "write_pack",
+    "run_fleet",
+    "fleet_jobs",
+    "build_cell",
+    "recovery_summary",
+    "FleetCell",
+    "FleetReport",
+    "FLEET_SCHEMES",
+    "FLEET_COLUMNS",
+    "RECOVERY_DIP_DB",
     # resilience strategies
     "ResilienceStrategy",
     "STRATEGY_BUILDERS",

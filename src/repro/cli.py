@@ -61,6 +61,14 @@ from repro.obs import (
 )
 from repro.codec.rate import RateControlConfig, build_rate_controller
 from repro.resilience.registry import STRATEGY_BUILDERS, build_strategy
+from repro.scenarios import (
+    FLEET_COLUMNS,
+    FLEET_SCHEMES,
+    ScenarioFormatError,
+    available_packs,
+    parse_scenario,
+    run_fleet,
+)
 from repro.service.daemon import DEFAULT_PORT as SERVICE_DEFAULT_PORT
 from repro.sim.experiment import (
     RateMatchSpec,
@@ -105,6 +113,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="ipaq",
         help="energy profile (default: ipaq)",
     )
+
+
+def _add_scenario_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        metavar="PACK",
+        default=None,
+        help="channel scenario pack: a shipped pack name "
+        f"({', '.join(available_packs())}), a JSON file path, or "
+        "inline JSON; replaces the uniform --plr channel",
+    )
+
+
+def _scenario_pack(args: argparse.Namespace):
+    """Resolve ``--scenario`` (absent on some commands) into a pack."""
+    text = getattr(args, "scenario", None)
+    if text is None:
+        return None
+    try:
+        return parse_scenario(text)
+    except (ScenarioFormatError, OSError) as error:
+        raise SystemExit(f"--scenario: {error}")
 
 
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
@@ -266,6 +296,7 @@ def _runner_options(args: argparse.Namespace) -> RunnerOptions:
             faults=_fault_plan(args),
             trace_dir=_trace_dir(args) if hasattr(args, "trace") else None,
             rate=_rate_config(args),
+            scenario=_scenario_pack(args),
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -341,6 +372,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     faults = _fault_plan(args)
     rate = _rate_config(args)
     controller = build_rate_controller(rate)
+    scenario = _scenario_pack(args)
+    if scenario is not None:
+        channel_kwargs = {"scenario": scenario, "scenario_seed": args.seed}
+    else:
+        channel_kwargs = {
+            "loss_model": UniformLoss(plr=args.plr, seed=args.seed)
+        }
     trace_dir = _trace_dir(args)
     trace_file: Optional[Path] = None
     if trace_dir is not None:
@@ -349,20 +387,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             result = simulate(
                 video,
                 strategy,
-                loss_model=UniformLoss(plr=args.plr, seed=args.seed),
                 config=_config(args),
                 rate_controller=controller,
                 faults=faults,
+                **channel_kwargs,
             )
         trace_file = write_trace(trace_dir / MERGED_TRACE_NAME, tracer)
     else:
         result = simulate(
             video,
             strategy,
-            loss_model=UniformLoss(plr=args.plr, seed=args.seed),
             config=_config(args),
             rate_controller=controller,
             faults=faults,
+            **channel_kwargs,
         )
     print(f"sequence         : {video.name} ({result.n_frames} frames)")
     print(f"scheme           : {result.strategy_name}")
@@ -575,6 +613,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """The scheme × scenario sweep: a percentile table per cell."""
+    import json as json_module
+
+    schemes = tuple(
+        s.strip() for s in args.schemes.split(",") if s.strip()
+    )
+    if not schemes:
+        raise SystemExit("--schemes must name at least one scheme")
+    packs = None
+    if args.packs is not None:
+        names = [p.strip() for p in args.packs.split(",") if p.strip()]
+        if not names:
+            raise SystemExit("--packs must name at least one pack")
+        try:
+            packs = tuple(parse_scenario(name) for name in names)
+        except (ScenarioFormatError, OSError) as error:
+            raise SystemExit(f"--packs: {error}")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    options, cache, stream_cache = _runner_setup(args)
+    try:
+        report = run_fleet(
+            schemes,
+            packs,
+            sequence=args.sequence,
+            n_frames=args.frames,
+            replicas=args.replicas,
+            base_seed=args.seed,
+            config=_config(args),
+            options=options,
+        )
+    except RuntimeError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(
+        format_table(
+            FLEET_COLUMNS,
+            report.rows(),
+            title=(
+                f"fleet: {args.sequence}, {args.frames} frames, "
+                f"{args.replicas} replica(s), digest "
+                f"{report.digest[:12]}"
+            ),
+        )
+    )
+    if args.json is not None:
+        path = Path(args.json)
+        path.write_text(
+            json_module.dumps(report.to_json(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_sigma(args: argparse.Namespace) -> int:
     from repro.codec.encoder import Encoder
     from repro.codec.types import CodecConfig
@@ -691,6 +785,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     faults = _fault_plan(args)
     rate = _rate_config(args)
+    scenario = _scenario_pack(args)
     submits = [
         JobSubmit(
             spec=JobSpec(
@@ -703,6 +798,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 pbpair_kwargs=pbpair_kwargs,
                 faults=faults,
                 rate=rate,
+                scenario=scenario,
             ),
             priority=args.priority,
             session_class=args.session_class,
@@ -956,6 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_options(sim)
     _add_rate_options(sim)
     _add_trace_options(sim)
+    _add_scenario_option(sim)
     sim.set_defaults(handler=_cmd_simulate)
 
     compare = commands.add_parser(
@@ -964,6 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compare)
     _add_runner_options(compare)
     _add_rate_options(compare)
+    _add_scenario_option(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     sweep = commands.add_parser(
@@ -972,7 +1070,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep)
     _add_runner_options(sweep)
     _add_rate_options(sweep)
+    _add_scenario_option(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    fleet = commands.add_parser(
+        "fleet", help="scheme x scenario-pack sweep with percentile table"
+    )
+    _add_common(fleet)
+    _add_runner_options(fleet)
+    fleet.add_argument(
+        "--schemes",
+        default=",".join(FLEET_SCHEMES),
+        help="comma-separated scheme list "
+        f"(default: {','.join(FLEET_SCHEMES)})",
+    )
+    fleet.add_argument(
+        "--packs",
+        default=None,
+        help="comma-separated pack names/paths (default: every shipped "
+        f"pack: {', '.join(available_packs())})",
+    )
+    fleet.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="channel seeds per cell (default: 2)",
+    )
+    fleet.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full fleet report as JSON",
+    )
+    fleet.set_defaults(handler=_cmd_fleet)
 
     sigma = commands.add_parser(
         "sigma", help="print PBPAIR's correctness-matrix heatmaps"
@@ -1065,6 +1195,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(submit)
     _add_fault_options(submit)
     _add_rate_options(submit)
+    _add_scenario_option(submit)
     submit.add_argument(
         "--url",
         default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",

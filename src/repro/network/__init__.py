@@ -20,10 +20,13 @@ from repro.network.loss import (
     ScriptedLoss,
     TraceLoss,
     GilbertElliottLoss,
+    MarkovBurstLoss,
+    structural_rng,
 )
 from repro.network.channel import Channel, ChannelLog
 from repro.network.biterror import BitErrorChannel, PROTECTED_HEADER_BYTES
 from repro.network.link import BandwidthDeadlineLoss, LinkLog
+from repro.network.protection import ResilienceWrapper, xor_parity_payload
 
 __all__ = [
     "Packet",
@@ -36,10 +39,14 @@ __all__ = [
     "ScriptedLoss",
     "TraceLoss",
     "GilbertElliottLoss",
+    "MarkovBurstLoss",
+    "structural_rng",
     "Channel",
     "ChannelLog",
     "BitErrorChannel",
     "PROTECTED_HEADER_BYTES",
     "BandwidthDeadlineLoss",
     "LinkLog",
+    "ResilienceWrapper",
+    "xor_parity_payload",
 ]

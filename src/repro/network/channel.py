@@ -14,11 +14,17 @@ class ChannelLog:
     """What happened on the wire, for reporting.
 
     Attributes:
-        sent: packets offered to the channel.
-        delivered: packets that survived.
-        lost_packets: sequence numbers of dropped packets.
+        sent: data packets offered to the channel.
+        delivered: data packets that survived (including recoveries).
+        lost_packets: sequence numbers of dropped data packets.
         lost_frames: frame indices that lost at least one packet.
-        bytes_sent / bytes_delivered: transport-level byte counts.
+        bytes_sent / bytes_delivered: transport-level byte counts
+            (``bytes_sent`` includes parity and retransmission
+            overhead when a resilience wrapper is active).
+        fec_parity_sent: XOR-parity packets injected by FEC.
+        fec_recovered: data packets reconstructed from parity.
+        retransmissions: retry transmissions attempted.
+        deadline_drops: packets abandoned with the retry budget spent.
     """
 
     sent: int = 0
@@ -27,6 +33,10 @@ class ChannelLog:
     lost_frames: set[int] = field(default_factory=set)
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    fec_parity_sent: int = 0
+    fec_recovered: int = 0
+    retransmissions: int = 0
+    deadline_drops: int = 0
 
     @property
     def loss_rate(self) -> float:

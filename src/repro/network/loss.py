@@ -16,11 +16,27 @@ granularity is available for channel studies, and
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional
+import hashlib
+import json
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.network.packet import Packet
+
+
+def structural_rng(seed: int, *key) -> np.random.Generator:
+    """RNG keyed by *what* is being decided, not *when*.
+
+    Same pattern as :meth:`repro.faults.FaultPlan.rng`: the seed and a
+    structural key (frame index, draw counter, segment index, ...) are
+    hashed into a generator, so a draw depends only on its identity —
+    never on worker count, call order, or how many other draws happened
+    first.  Models built on this replay exactly after ``reset()``.
+    """
+    material = json.dumps([seed, *key], separators=(",", ":"))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
 
 
 class LossModel(abc.ABC):
@@ -114,16 +130,37 @@ class ScriptedLoss(LossModel):
 
 
 class TraceLoss(LossModel):
-    """Loss pattern replayed from an explicit per-frame trace.
+    """Loss pattern replayed from an explicit recorded/scripted trace.
 
-    ``trace[i]`` is True when frame ``i`` is delivered.  Frames beyond
-    the trace use ``default_survives``.  Useful for replaying captured
-    network traces or for exact A/B comparisons between schemes.
+    Two granularities:
+
+    * ``"frame"`` (default): ``trace[i]`` is the fate of frame ``i`` —
+      stateless, every fragment of a frame shares one fate, and the
+      model is trivially order-independent.
+    * ``"packet"``: the trace is consumed one entry per ``survives``
+      call through an internal cursor, replaying a recorded per-packet
+      fate sequence exactly.  ``reset()`` rewinds the cursor so a
+      replay reproduces the identical sequence.
+
+    Entries beyond the trace use ``default_survives``.  Useful for
+    replaying captured network traces and for exact A/B comparisons
+    between schemes over one channel realization.
     """
 
-    def __init__(self, trace, default_survives: bool = True) -> None:
+    def __init__(
+        self,
+        trace,
+        default_survives: bool = True,
+        granularity: str = "frame",
+    ) -> None:
+        if granularity not in ("frame", "packet"):
+            raise ValueError(
+                f"granularity must be 'frame' or 'packet', got {granularity!r}"
+            )
         self.trace = tuple(bool(v) for v in trace)
         self.default_survives = default_survives
+        self.granularity = granularity
+        self._cursor = 0
 
     @classmethod
     def from_loss_rate_pattern(cls, pattern: str) -> "TraceLoss":
@@ -133,9 +170,49 @@ class TraceLoss(LossModel):
             raise ValueError("pattern must be a non-empty string of '.' and 'x'")
         return cls(ch == "." for ch in pattern)
 
+    @classmethod
+    def from_plr_series(
+        cls, series: Sequence[float], seed: int = 0
+    ) -> "TraceLoss":
+        """Realize a scripted per-frame PLR time series into a trace.
+
+        ``series[i]`` is frame ``i``'s loss probability; the fate of
+        each frame is drawn from :func:`structural_rng` keyed by
+        ``(seed, i)``, so the realized trace depends only on the series
+        and the seed — never on evaluation order or worker count.
+        """
+        fates = []
+        for index, plr in enumerate(series):
+            plr = float(plr)
+            if not 0.0 <= plr <= 1.0:
+                raise ValueError(f"PLR must be in [0, 1], got {plr}")
+            draw = structural_rng(seed, "plr-series", index).random()
+            fates.append(bool(draw >= plr))
+        return cls(fates)
+
+    @classmethod
+    def record(cls, model: LossModel, packets: Iterable[Packet]) -> "TraceLoss":
+        """Capture another model's per-packet fates as a replayable trace.
+
+        The returned model has ``granularity="packet"``; replaying the
+        same packet stream through it reproduces ``model``'s decisions
+        exactly, without re-running (or even having) the original model.
+        """
+        return cls(
+            (model.survives(p) for p in packets), granularity="packet"
+        )
+
+    def reset(self) -> None:
+        self._cursor = 0
+
     def survives(self, packet: Packet) -> bool:
-        if packet.frame_index < len(self.trace):
-            return self.trace[packet.frame_index]
+        if self.granularity == "packet":
+            index = self._cursor
+            self._cursor += 1
+        else:
+            index = packet.frame_index
+        if index < len(self.trace):
+            return self.trace[index]
         return self.default_survives
 
 
@@ -198,3 +275,98 @@ class GilbertElliottLoss(LossModel):
         if self.protect_first_frame and packet.frame_index == 0:
             return True
         return bool(self._rng.random() >= loss)
+
+
+class MarkovBurstLoss(LossModel):
+    """k-state Markov burst-erasure channel.
+
+    Generalizes Gilbert-Elliott toward the burst-erasure channels of
+    the streaming-over-burst-loss literature: state 0 is *good* (the
+    packet is delivered); states ``1..k`` are *burst* states (the
+    packet is erased).  From good, a packet enters the burst (state 1)
+    with probability ``p_enter``; from burst depth ``i`` it escapes to
+    good with probability ``escape[i-1]``, otherwise the burst deepens
+    to ``min(i + 1, k)``.  Decreasing escape probabilities model the
+    heavy-tailed outages of fading links that a two-state chain cannot:
+    the longer a burst has lasted, the less likely it ends.
+
+    With ``k = 1`` this is exactly Gilbert-Elliott with
+    ``good_loss=0, bad_loss=1``.
+
+    Every transition draw comes from :func:`structural_rng` keyed by
+    ``(seed, draw_index)``, so ``reset()`` replays the identical
+    packet-fate sequence and results are independent of worker count.
+    """
+
+    def __init__(
+        self,
+        p_enter: float,
+        escape: Sequence[float] | float,
+        seed: int = 0,
+        protect_first_frame: bool = True,
+    ) -> None:
+        if isinstance(escape, (int, float)):
+            escape = (float(escape),)
+        self.escape = tuple(float(e) for e in escape)
+        if not self.escape:
+            raise ValueError("escape needs at least one burst state")
+        if not 0.0 <= p_enter <= 1.0:
+            raise ValueError(f"p_enter must be in [0, 1], got {p_enter}")
+        for e in self.escape:
+            if not 0.0 < e <= 1.0:
+                raise ValueError(
+                    f"escape probabilities must be in (0, 1], got {e}"
+                )
+        self.p_enter = float(p_enter)
+        self.seed = seed
+        self.protect_first_frame = protect_first_frame
+        self._state = 0
+        self._draws = 0
+
+    @property
+    def burst_states(self) -> int:
+        return len(self.escape)
+
+    @property
+    def expected_burst_length(self) -> float:
+        """Mean packets erased per burst, from the chain geometry.
+
+        Backwards recursion over burst depths: the deepest state is
+        geometric (``E_k = 1/escape[k-1]``), and each shallower state
+        adds its own packet plus the deeper tail it fails to escape:
+        ``E_i = 1 + (1 - escape[i-1]) * E_{i+1}``.
+        """
+        expected = 1.0 / self.escape[-1]
+        for e in reversed(self.escape[:-1]):
+            expected = 1.0 + (1.0 - e) * expected
+        return expected
+
+    @property
+    def steady_state_loss_rate(self) -> float:
+        """Long-run erased fraction: E[burst] / (E[good] + E[burst])."""
+        if self.p_enter == 0.0:
+            return 0.0
+        burst = self.expected_burst_length
+        return burst / (1.0 / self.p_enter + burst)
+
+    def reset(self) -> None:
+        self._state = 0
+        self._draws = 0
+
+    def _draw(self) -> float:
+        value = structural_rng(self.seed, "markov-burst", self._draws).random()
+        self._draws += 1
+        return float(value)
+
+    def survives(self, packet: Packet) -> bool:
+        if self._state == 0:
+            if self._draw() < self.p_enter:
+                self._state = 1
+        else:
+            if self._draw() < self.escape[self._state - 1]:
+                self._state = 0
+            else:
+                self._state = min(self._state + 1, len(self.escape))
+        if self.protect_first_frame and packet.frame_index == 0:
+            return True
+        return self._state == 0

@@ -1,0 +1,132 @@
+"""Interpret a :class:`ScenarioPack` as a live channel.
+
+:class:`ScenarioChannel` duck-types :class:`repro.network.channel.Channel`
+(``transmit`` / ``log`` / ``reset``), so the simulation pipeline swaps
+it in without caring that behind the interface the channel is a
+timeline: each packet is routed to the segment its frame falls in, and
+each segment owns its own loss model, optional bandwidth cap, and
+optional FEC/retransmission wrapper.
+
+Determinism: every segment's loss model is seeded from the channel
+seed plus the *segment index* via the structural-key pattern
+(:func:`repro.network.loss.structural_rng`), so a segment's packet
+fates do not depend on what earlier segments drew, on worker count, or
+on call order — serial and pooled runs of the same job are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.network.channel import ChannelLog
+from repro.network.link import BandwidthDeadlineLoss
+from repro.network.loss import LossModel, structural_rng
+from repro.network.packet import Packet
+from repro.network.protection import ResilienceWrapper
+from repro.scenarios.pack import ScenarioPack, ScenarioSegment
+
+
+def segment_seed(channel_seed: int, segment_index: int) -> int:
+    """Independent per-segment seed from the job's channel seed."""
+    return int(
+        structural_rng(channel_seed, "scenario-segment", segment_index)
+        .integers(0, 2**32)
+    )
+
+
+class _ComposedLoss(LossModel):
+    """AND of several fate oracles (bandwidth cap + loss model).
+
+    Every member sees every packet — no short-circuiting — so each
+    model's internal state (burst chains, link queues) advances
+    identically whether or not another member already dropped the
+    packet.  That keeps draw sequences stable when packs are edited.
+    """
+
+    def __init__(self, models: list[LossModel]) -> None:
+        self.models = models
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+    def survives(self, packet: Packet) -> bool:
+        fates = [model.survives(packet) for model in self.models]
+        return all(fates)
+
+
+class ScenarioChannel:
+    """Pushes packets through the scenario's per-segment machinery.
+
+    The single :class:`ChannelLog` is shared by every segment's
+    wrapper, so the run's accounting (including FEC/retransmission
+    counters) reads exactly like a plain channel's.
+    """
+
+    def __init__(self, pack: ScenarioPack, seed: int = 0) -> None:
+        self.pack = pack
+        self.seed = seed
+        self.log = ChannelLog()
+        self._segments = [
+            self._build_segment(index, spec)
+            for index, spec in enumerate(pack.segments)
+        ]
+
+    def _build_segment(
+        self, index: int, spec: ScenarioSegment
+    ) -> ResilienceWrapper:
+        models: list[LossModel] = []
+        if spec.bandwidth_kbps > 0:
+            models.append(
+                BandwidthDeadlineLoss(
+                    kbps=spec.bandwidth_kbps,
+                    playout_delay_s=spec.playout_delay_s,
+                    fps=self.pack.fps,
+                )
+            )
+        models.append(spec.loss.build(segment_seed(self.seed, index)))
+        fate: LossModel = models[0] if len(models) == 1 else _ComposedLoss(
+            models
+        )
+        resilience = spec.resilience
+        return ResilienceWrapper(
+            fate,
+            fec_window=resilience.fec_window if resilience else 0,
+            retx_limit=resilience.retx_limit if resilience else 0,
+            log=self.log,
+        )
+
+    def reset(self) -> None:
+        self.log = ChannelLog()
+        self._segments = [
+            self._build_segment(index, spec)
+            for index, spec in enumerate(self.pack.segments)
+        ]
+
+    def transmit(self, packets: list[Packet]) -> list[Packet]:
+        """Return the surviving packets, preserving order.
+
+        The pipeline transmits one frame per call, but multi-frame
+        batches are handled too: consecutive packets of one segment
+        travel together (FEC windows never straddle a segment
+        boundary).
+        """
+        survivors: list[Packet] = []
+        start = 0
+        while start < len(packets):
+            index = self.pack.segment_index_for_frame(
+                packets[start].frame_index
+            )
+            stop = start + 1
+            while (
+                stop < len(packets)
+                and self.pack.segment_index_for_frame(
+                    packets[stop].frame_index
+                )
+                == index
+            ):
+                stop += 1
+            survivors.extend(
+                self._segments[index].transmit(packets[start:stop])
+            )
+            start = stop
+        return survivors

@@ -1,0 +1,326 @@
+"""The fleet report: every scheme × every scenario, percentile tables.
+
+ROADMAP item 4's deliverable: sweep the Figure-5 scheme set across the
+shipped scenario packs (plus replicas over channel seeds) and emit, per
+(scheme, pack) cell, percentile decoder quality, mean energy, channel
+loss, resilience accounting, and the paper's error-recovery length
+(frames until PSNR re-enters a band of the loss-free run — Section
+4.2's "faster error recovery", here measured per loss event and
+aggregated per cell).
+
+Every cell also carries a content digest over its replicas' delivered
+values (:func:`repro.service.wire.session_result_digest`), and the
+report digests those into one fleet digest — the determinism pin:
+serial and pooled sweeps of the same grid must produce the identical
+digest, which ``benchmarks/bench_scenarios.py`` gates in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.scenarios.pack import ScenarioPack, available_packs, load_pack
+from repro.service.wire import percentile, session_result_digest
+from repro.sim.pipeline import SimulationConfig, SimulationResult
+from repro.sim.runner import JobSpec, RunnerOptions, run_grid
+from repro.video.synthetic import SyntheticConfig
+
+#: The Figure-5 scheme set — the fleet's default sweep axis.
+FLEET_SCHEMES = ("NO", "GOP-3", "AIR-24", "PGOP-3", "PBPAIR")
+
+#: Recovery band: a frame has "recovered" when decoder PSNR is back
+#: within this many dB of the encoder-side (loss-free) PSNR.
+RECOVERY_DIP_DB = 2.0
+
+
+def resolve_packs(
+    packs: Optional[Iterable[Union[str, ScenarioPack]]] = None,
+) -> tuple[ScenarioPack, ...]:
+    """Load pack names (``None`` = every shipped pack) into packs."""
+    if packs is None:
+        packs = available_packs()
+    return tuple(
+        pack if isinstance(pack, ScenarioPack) else load_pack(pack)
+        for pack in packs
+    )
+
+
+def fleet_jobs(
+    schemes: Sequence[str] = FLEET_SCHEMES,
+    packs: Optional[Iterable[Union[str, ScenarioPack]]] = None,
+    *,
+    sequence: str = "foreman",
+    n_frames: int = 30,
+    replicas: int = 2,
+    base_seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    synthetic: Optional[SyntheticConfig] = None,
+) -> list[JobSpec]:
+    """The fleet grid, pack-major: pack, then scheme, then replica.
+
+    Each job's ``plr`` is set to its pack's nominal loss rate — the
+    channel ignores it (the scenario rules), but loss-aware encoders
+    (PBPAIR's assumed ``alpha``) read it, so every scheme gets an
+    honest estimate of the channel it is about to face.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    jobs = []
+    for pack in resolve_packs(packs):
+        assumed_plr = round(pack.nominal_loss_rate(), 4)
+        for scheme in schemes:
+            for replica in range(replicas):
+                jobs.append(
+                    JobSpec(
+                        scheme=scheme,
+                        plr=assumed_plr,
+                        channel_seed=base_seed + replica,
+                        sequence=sequence,
+                        n_frames=n_frames,
+                        synthetic=synthetic,
+                        config=config or SimulationConfig(),
+                        scenario=pack,
+                    )
+                )
+    return jobs
+
+
+def _round_or_none(value: float, digits: int) -> Optional[float]:
+    return None if math.isnan(value) else round(value, digits)
+
+
+def _psnr_percentiles(results: Sequence[SimulationResult]) -> dict:
+    """p50/p95/p99 over the pooled per-frame decoder PSNR of a cell.
+
+    Non-finite frames (a bit-exact frame has infinite PSNR) are
+    excluded rather than clamped to an invented number.
+    """
+    values = [
+        float(f.psnr_decoder)
+        for result in results
+        for f in result.frames
+        if math.isfinite(f.psnr_decoder)
+    ]
+    return {
+        q: _round_or_none(percentile(values, int(q[1:])), 3)
+        for q in ("p50", "p95", "p99")
+    }
+
+
+def recovery_summary(
+    results: Sequence[SimulationResult], dip_db: float = RECOVERY_DIP_DB
+) -> dict:
+    """Aggregate per-loss-event recovery lengths across a cell.
+
+    Events and lengths come from
+    :meth:`~repro.sim.pipeline.SimulationResult.recovery_times`; a cell
+    with no loss events reports honest ``None`` aggregates.
+    """
+    times = [
+        float(t)
+        for result in results
+        for t in result.recovery_times(dip_db)
+    ]
+    return {
+        "events": len(times),
+        "mean_frames": (
+            round(sum(times) / len(times), 3) if times else None
+        ),
+        "p95_frames": _round_or_none(percentile(times, 95), 2),
+        "max_frames": int(max(times)) if times else None,
+    }
+
+
+@dataclass(frozen=True)
+class FleetCell:
+    """One (scheme, pack) cell of the fleet report."""
+
+    scheme: str
+    pack: str
+    replicas: int
+    psnr_db: Mapping[str, Optional[float]]
+    energy_j: float
+    loss_rate: float
+    recovery: Mapping[str, Any]
+    fec_recovered: int
+    retransmissions: int
+    deadline_drops: int
+    digest: str
+
+    def to_json(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "pack": self.pack,
+            "replicas": self.replicas,
+            "psnr_db": dict(self.psnr_db),
+            "energy_j": self.energy_j,
+            "loss_rate": self.loss_rate,
+            "recovery": dict(self.recovery),
+            "fec_recovered": self.fec_recovered,
+            "retransmissions": self.retransmissions,
+            "deadline_drops": self.deadline_drops,
+            "digest": self.digest,
+        }
+
+
+def build_cell(
+    scheme: str, pack: str, results: Sequence[SimulationResult]
+) -> FleetCell:
+    """Aggregate one cell's replicas into its report row."""
+    logs = [result.channel_log for result in results]
+    return FleetCell(
+        scheme=scheme,
+        pack=pack,
+        replicas=len(results),
+        psnr_db=_psnr_percentiles(results),
+        energy_j=round(
+            sum(r.energy_joules for r in results) / len(results), 6
+        ),
+        loss_rate=round(
+            sum(log.loss_rate for log in logs) / len(logs), 4
+        ),
+        recovery=recovery_summary(results),
+        fec_recovered=sum(log.fec_recovered for log in logs),
+        retransmissions=sum(log.retransmissions for log in logs),
+        deadline_drops=sum(log.deadline_drops for log in logs),
+        digest=hashlib.sha256(
+            json.dumps(
+                sorted(session_result_digest(r) for r in results)
+            ).encode("utf-8")
+        ).hexdigest(),
+    )
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The full scheme × scenario sweep, cell by cell."""
+
+    sequence: str
+    n_frames: int
+    replicas: int
+    schemes: tuple[str, ...]
+    packs: tuple[str, ...]
+    cells: tuple[FleetCell, ...]
+
+    @property
+    def digest(self) -> str:
+        """One digest over every cell's delivered values.
+
+        Equal between a serial and a pooled sweep of the same grid —
+        the fleet-level determinism pin.
+        """
+        lines = sorted(
+            f"{c.scheme}|{c.pack}|{c.digest}" for c in self.cells
+        )
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+    def cell(self, scheme: str, pack: str) -> FleetCell:
+        for candidate in self.cells:
+            if candidate.scheme == scheme and candidate.pack == pack:
+                return candidate
+        raise KeyError(f"no fleet cell ({scheme!r}, {pack!r})")
+
+    def to_json(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "n_frames": self.n_frames,
+            "replicas": self.replicas,
+            "schemes": list(self.schemes),
+            "packs": list(self.packs),
+            "digest": self.digest,
+            "cells": [cell.to_json() for cell in self.cells],
+        }
+
+    def rows(self) -> list[list[str]]:
+        """Render cells for the CLI table, pack-major."""
+
+        def fmt(value, suffix: str = "") -> str:
+            return "-" if value is None else f"{value:g}{suffix}"
+
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [
+                    cell.pack,
+                    cell.scheme,
+                    fmt(cell.psnr_db.get("p50")),
+                    fmt(cell.psnr_db.get("p95")),
+                    f"{100.0 * cell.loss_rate:.1f}%",
+                    f"{cell.energy_j:.3f}",
+                    fmt(cell.recovery.get("mean_frames")),
+                    str(cell.fec_recovered + cell.retransmissions),
+                ]
+            )
+        return rows
+
+
+#: Column headers matching :meth:`FleetReport.rows`.
+FLEET_COLUMNS = (
+    "pack",
+    "scheme",
+    "psnr p50",
+    "psnr p95",
+    "loss",
+    "energy J",
+    "recovery",
+    "repairs",
+)
+
+
+def run_fleet(
+    schemes: Sequence[str] = FLEET_SCHEMES,
+    packs: Optional[Iterable[Union[str, ScenarioPack]]] = None,
+    *,
+    sequence: str = "foreman",
+    n_frames: int = 30,
+    replicas: int = 2,
+    base_seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    synthetic: Optional[SyntheticConfig] = None,
+    options: Optional[RunnerOptions] = None,
+) -> FleetReport:
+    """Run the scheme × scenario sweep and aggregate the report.
+
+    Encode-once applies across the pack axis: a pack changes only the
+    channel, so every pack reuses one encoded stream per scheme (PBPAIR
+    splits per distinct assumed loss rate).  Any cell failure raises —
+    a fleet report with silent holes would misreport the matrix.
+    """
+    resolved = resolve_packs(packs)
+    jobs = fleet_jobs(
+        schemes,
+        resolved,
+        sequence=sequence,
+        n_frames=n_frames,
+        replicas=replicas,
+        base_seed=base_seed,
+        config=config,
+        synthetic=synthetic,
+    )
+    outcomes = run_grid(jobs, options=options or RunnerOptions())
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        first = failures[0]
+        raise RuntimeError(
+            f"{len(failures)} fleet cells failed: "
+            f"{first.error_type}: {first.message}"
+        )
+    cells = []
+    index = 0
+    for pack in resolved:
+        for scheme in schemes:
+            group = [outcomes[index + r].result for r in range(replicas)]
+            index += replicas
+            cells.append(build_cell(scheme, pack.name, group))
+    return FleetReport(
+        sequence=sequence,
+        n_frames=n_frames,
+        replicas=replicas,
+        schemes=tuple(schemes),
+        packs=tuple(pack.name for pack in resolved),
+        cells=tuple(cells),
+    )

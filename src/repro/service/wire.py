@@ -46,6 +46,7 @@ from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.codec.rate import RateControlConfig
 from repro.faults import FaultPlan
+from repro.scenarios.pack import ScenarioPack
 from repro.sim.pipeline import SimulationConfig, SimulationResult
 from repro.sim.runner import JobSpec
 from repro.video.synthetic import SyntheticConfig
@@ -55,7 +56,9 @@ from repro.video.synthetic import SyntheticConfig
 #: version (see :data:`SUPPORTED_WIRE_SCHEMAS`).
 #: Version 2: JobSpec records carry an optional ``rate`` (closed-loop
 #: rate control config); v1 records parse with ``rate=None``.
-WIRE_SCHEMA_VERSION = 2
+#: Version 3: JobSpec records carry an optional ``scenario`` (channel
+#: scenario pack); v2 records parse with ``scenario=None``.
+WIRE_SCHEMA_VERSION = 3
 
 #: Wire schema versions the ``from_json`` readers understand: the
 #: current version and, once one exists, the version before it.
@@ -160,12 +163,16 @@ def job_spec_to_json(spec: JobSpec) -> dict:
         "pbpair_kwargs": dict(spec.pbpair_kwargs),
         "faults": spec.faults.to_json() if spec.faults is not None else None,
         "rate": _flat_to_json(spec.rate),
+        "scenario": (
+            spec.scenario.to_json() if spec.scenario is not None else None
+        ),
     }
 
 
 def job_spec_from_json(record: Mapping[str, Any]) -> JobSpec:
     """Rebuild a :class:`JobSpec` from its wire rendering."""
     faults = record.get("faults")
+    scenario = record.get("scenario")
     return JobSpec(
         scheme=record["scheme"],
         plr=float(record.get("plr", 0.1)),
@@ -178,6 +185,9 @@ def job_spec_from_json(record: Mapping[str, Any]) -> JobSpec:
         pbpair_kwargs=dict(record.get("pbpair_kwargs", {})),
         faults=FaultPlan.from_json(faults) if faults is not None else None,
         rate=_flat_from_json(RateControlConfig, record.get("rate")),
+        scenario=(
+            ScenarioPack.from_json(scenario) if scenario is not None else None
+        ),
     )
 
 

@@ -487,6 +487,33 @@ def encode_phase(
     )
 
 
+def _build_channel(
+    loss_model: Optional[LossModel],
+    scenario,
+    scenario_seed: int,
+):
+    """One channel-side entry point for both the plain and scenario paths.
+
+    ``scenario=None`` constructs exactly what the pipeline always
+    built — ``Channel(loss_model or NoLoss())`` — so existing runs stay
+    bit-identical.  With a :class:`~repro.scenarios.pack.ScenarioPack`
+    the channel becomes a
+    :class:`~repro.scenarios.channel.ScenarioChannel` (same duck-typed
+    interface), and ``loss_model`` must be unset: the pack declares the
+    loss models.
+    """
+    if scenario is not None:
+        if loss_model is not None:
+            raise ValueError(
+                "pass either loss_model or scenario, not both "
+                "(a scenario pack declares its own loss models)"
+            )
+        from repro.scenarios.channel import ScenarioChannel
+
+        return ScenarioChannel(scenario, seed=scenario_seed)
+    return Channel(loss_model if loss_model is not None else NoLoss())
+
+
 def transmit_phase(
     stream: EncodedStream,
     sequence: VideoSequence,
@@ -495,6 +522,8 @@ def transmit_phase(
     concealment: Optional[ConcealmentStrategy] = None,
     bit_errors: Optional[BitErrorChannel] = None,
     faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    scenario=None,
+    scenario_seed: int = 0,
 ) -> SimulationResult:
     """Phase 2 of Figure 1: channel -> depacketize -> decode -> metrics.
 
@@ -518,6 +547,12 @@ def transmit_phase(
             ``decoder_input`` faults hit the depacketized fragments.
             The stream's own encode-stage events are prepended to
             ``result.fault_events`` so the run's log stays complete.
+        scenario: optional :class:`~repro.scenarios.pack.ScenarioPack`;
+            mutually exclusive with ``loss_model``.  The channel then
+            follows the pack's segment timeline (loss models, bandwidth
+            caps, FEC/retransmission wrappers).
+        scenario_seed: channel seed for the scenario's loss models
+            (each segment derives its own stream structurally from it).
     """
     config = config or SimulationConfig()
     _check_dimensions(sequence, config)
@@ -532,7 +567,7 @@ def transmit_phase(
         config,
         Decoder(config.codec),
         Depacketizer(),
-        Channel(loss_model if loss_model is not None else NoLoss()),
+        _build_channel(loss_model, scenario, scenario_seed),
         EnergyModel(config.device),
         concealment if concealment is not None else CopyConcealment(),
         bit_errors,
@@ -549,6 +584,8 @@ def simulate(
     rate_controller: Optional[AnyRateController] = None,
     bit_errors: Optional[BitErrorChannel] = None,
     faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    scenario=None,
+    scenario_seed: int = 0,
 ) -> SimulationResult:
     """Run the full Figure-1 pipeline and collect every metric.
 
@@ -577,6 +614,10 @@ def simulate(
             decoder-input faults hit the depacketized fragments.  Every
             injection lands in ``result.fault_events`` and, when
             tracing, in the obs trace.
+        scenario: optional :class:`~repro.scenarios.pack.ScenarioPack`;
+            mutually exclusive with ``loss_model`` (see
+            :func:`transmit_phase`).
+        scenario_seed: channel seed for the scenario's loss models.
     """
     config = config or SimulationConfig()
     _check_dimensions(sequence, config)
@@ -590,7 +631,7 @@ def simulate(
     packetizer = Packetizer(config.codec, mtu=config.mtu)
     decoder = Decoder(config.codec)
     depacketizer = Depacketizer()
-    channel = Channel(loss_model if loss_model is not None else NoLoss())
+    channel = _build_channel(loss_model, scenario, scenario_seed)
     energy_model = EnergyModel(config.device)
     concealment = concealment if concealment is not None else CopyConcealment()
 

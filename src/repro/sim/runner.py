@@ -58,6 +58,7 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 from repro.faults import FaultInjector, FaultPlan, encode_subplan
 from repro.faults.inject import InjectedWorkerCrash
 from repro.network.loss import UniformLoss
+from repro.scenarios.pack import ScenarioPack
 from repro.obs import Tracer, get_tracer, merge_job_traces, use_tracer, write_trace
 from repro.codec.rate import RateControlConfig, build_rate_controller
 from repro.resilience.registry import build_strategy, strategy_to_spec
@@ -80,7 +81,9 @@ from repro.video.synthetic import (
 #: previously cached results stale (new metrics, changed semantics).
 #: Version 2: FrameRecord.damaged_fragments + SimulationResult.fault_events.
 #: Version 3: JobSpec.rate (closed-loop rate control) joins the key.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4: JobSpec.scenario (declarative channel scenario packs)
+#: joins the key, and ChannelLog grew resilience counters.
+CACHE_SCHEMA_VERSION = 4
 
 #: Schema of the :class:`~repro.sim.pipeline.EncodedStream` pickles held
 #: by :class:`EncodedStreamCache`; part of every encode cache key.
@@ -208,6 +211,14 @@ class JobSpec:
             for the job, so every frame's QP (and the stream bytes)
             chases the configured kbps target — part of both the result
             and the stream cache keys.
+        scenario: optional :class:`repro.scenarios.pack.ScenarioPack`.
+            When set, the channel follows the pack's segment timeline
+            instead of uniform loss at ``plr`` (which is then ignored,
+            along with ``granularity``); ``channel_seed`` seeds the
+            pack's loss models and stays the replication axis.  The
+            pack is transmit-side only: it joins the result-cache key
+            but not the encoded-stream key, so scenario sweeps share
+            encodes.
     """
 
     scheme: str
@@ -221,10 +232,17 @@ class JobSpec:
     pbpair_kwargs: Mapping[str, Any] = field(default_factory=dict)
     faults: Optional[FaultPlan] = None
     rate: Optional[RateControlConfig] = None
+    scenario: Optional[ScenarioPack] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.plr <= 1.0:
             raise ValueError(f"plr must be in [0, 1], got {self.plr}")
+        if self.scenario is not None and not isinstance(
+            self.scenario, ScenarioPack
+        ):
+            raise TypeError(
+                f"scenario must be a ScenarioPack, got {type(self.scenario)!r}"
+            )
         if self.n_frames < 1:
             raise ValueError(f"n_frames must be >= 1, got {self.n_frames}")
         if self.synthetic is None and self.sequence not in SEQUENCE_GENERATORS:
@@ -258,6 +276,7 @@ class JobSpec:
                 "pbpair_kwargs": self.pbpair_kwargs,
                 "faults": self.faults,
                 "rate": self.rate,
+                "scenario": self.scenario,
             }
         )
 
@@ -380,6 +399,10 @@ class RunnerOptions:
             applied to every spec that does not carry its own — the
             matched-bitrate switch: one config, every scheme encodes
             toward the same kbps target.
+        scenario: run-level
+            :class:`~repro.scenarios.pack.ScenarioPack` applied to
+            every spec that does not carry its own — one pack, every
+            cell transmits over the same channel timeline.
     """
 
     jobs: int = 1
@@ -392,6 +415,7 @@ class RunnerOptions:
     faults: Optional[FaultPlan] = None
     trace_dir: Optional[Union[str, Path]] = None
     rate: Optional[RateControlConfig] = None
+    scenario: Optional[ScenarioPack] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -960,9 +984,17 @@ def run_job(
     """
     sequence = _sequence_for(spec.sequence, spec.n_frames, spec.synthetic)
     strategy = build_strategy(spec.scheme, **_strategy_kwargs_for(spec))
-    loss_model = UniformLoss(
-        plr=spec.plr, seed=spec.channel_seed, granularity=spec.granularity
-    )
+    if spec.scenario is not None:
+        loss_model = None
+        channel_kwargs: dict[str, Any] = {
+            "scenario": spec.scenario,
+            "scenario_seed": spec.channel_seed,
+        }
+    else:
+        loss_model = UniformLoss(
+            plr=spec.plr, seed=spec.channel_seed, granularity=spec.granularity
+        )
+        channel_kwargs = {}
     if stream_cache is None or encode_subplan(spec.faults) is not None:
         return simulate(
             sequence,
@@ -971,6 +1003,7 @@ def run_job(
             config=spec.config,
             rate_controller=build_rate_controller(spec.rate),
             faults=spec.faults,
+            **channel_kwargs,
         )
 
     tracer = get_tracer()
@@ -1004,13 +1037,19 @@ def run_job(
             loss_model=loss_model,
             config=spec.config,
             faults=spec.faults,
+            **channel_kwargs,
         )
 
 
 def _job_trace_id(spec: JobSpec) -> str:
     """Human-readable trace label for one grid cell."""
+    channel = (
+        f"scenario={spec.scenario.name}"
+        if spec.scenario is not None
+        else f"plr={spec.plr:g}"
+    )
     return (
-        f"{spec.scheme} plr={spec.plr:g} seed={spec.channel_seed} "
+        f"{spec.scheme} {channel} seed={spec.channel_seed} "
         f"{spec.sequence}"
     )
 
@@ -1248,6 +1287,7 @@ def run_grid(
     stream_cache: Optional[EncodedStreamCache] = None,
     share_streams: Optional[bool] = None,
     rate: Optional[RateControlConfig] = None,
+    scenario: Optional[ScenarioPack] = None,
     options: Optional[RunnerOptions] = None,
 ) -> list[Union[JobResult, JobFailure]]:
     """Run a grid of jobs, in parallel, with caching and error capture.
@@ -1307,6 +1347,11 @@ def run_grid(
             (a spec-level config wins — it is part of the cache key).
             This is the matched-bitrate switch: one config, every
             scheme chases the same kbps target.
+        scenario: run-level
+            :class:`~repro.scenarios.pack.ScenarioPack` applied to
+            every spec that does not already carry its own (a
+            spec-level pack wins — it is part of the cache key): one
+            channel timeline, every cell.
 
     Returns:
         One :class:`JobResult` or :class:`JobFailure` per input spec,
@@ -1342,6 +1387,8 @@ def run_grid(
             stream_cache = options.build_stream_cache(cache)
         if rate is None:
             rate = options.rate
+        if scenario is None:
+            scenario = options.scenario
     if share_streams is None:
         share_streams = True
 
@@ -1356,6 +1403,12 @@ def run_grid(
         specs = [
             spec if spec.rate is not None
             else dataclasses.replace(spec, rate=rate)
+            for spec in specs
+        ]
+    if scenario is not None:
+        specs = [
+            spec if spec.scenario is not None
+            else dataclasses.replace(spec, scenario=scenario)
             for spec in specs
         ]
     retry = retry or RetryPolicy()

@@ -27,6 +27,7 @@ from repro.service.wire import (
     session_result_digest,
 )
 from repro.resilience.registry import build_strategy
+from repro.scenarios import load_pack
 from repro.sim.pipeline import SimulationConfig, simulate
 from repro.sim.runner import (
     SUPPORTED_MANIFEST_SCHEMAS,
@@ -169,6 +170,30 @@ class TestJobSpecRoundTrip:
         record["schema"] = 1
         rebuilt = job_spec_from_json(record)
         assert rebuilt.rate is None
+        assert rebuilt == tiny_spec()
+
+    def test_spec_with_scenario(self):
+        pack = load_pack("bursty-wifi")
+        spec = tiny_spec(scenario=pack, plr=round(pack.nominal_loss_rate(), 4))
+        record = job_spec_to_json(spec)
+        assert record["scenario"]["name"] == "bursty-wifi"
+        text = json.dumps(record)  # the pack nests plain JSON
+        rebuilt = job_spec_from_json(json.loads(text))
+        assert rebuilt == spec
+        assert rebuilt.scenario == pack
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_scenario_changes_content_hash(self):
+        spec = tiny_spec()
+        with_pack = tiny_spec(scenario=load_pack("steady-uniform"))
+        assert spec.content_hash() != with_pack.content_hash()
+
+    def test_v2_record_without_scenario_still_parses(self):
+        record = job_spec_to_json(tiny_spec())
+        del record["scenario"]  # a schema-2 sender never wrote the key
+        record["schema"] = 2
+        rebuilt = job_spec_from_json(record)
+        assert rebuilt.scenario is None
         assert rebuilt == tiny_spec()
 
 
